@@ -1,0 +1,57 @@
+// Command grass-bench regenerates the paper's tables and figures:
+//
+//	grass-bench            # every experiment at the quick size
+//	grass-bench -full      # full size (EXPERIMENTS.md numbers)
+//	grass-bench -fig fig5  # one experiment
+//	grass-bench -list      # available experiment IDs
+//
+// Output is plain-text tables with the same rows/series the paper plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/approx-analytics/grass/internal/exp"
+)
+
+func main() {
+	var (
+		fig  = flag.String("fig", "", "run one experiment by ID (see -list)")
+		full = flag.Bool("full", false, "full-size runs (slower; EXPERIMENTS.md numbers)")
+		list = flag.Bool("list", false, "list experiment IDs")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+	cfg := exp.Quick()
+	if *full {
+		cfg = exp.Default()
+	}
+	ran := 0
+	for _, e := range exp.All() {
+		if *fig != "" && e.ID != *fig {
+			continue
+		}
+		ran++
+		start := time.Now()
+		t, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grass-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		t.Render(os.Stdout)
+		fmt.Printf("[%s took %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "grass-bench: unknown experiment %q (try -list)\n", *fig)
+		os.Exit(1)
+	}
+}

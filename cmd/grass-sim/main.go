@@ -1,0 +1,154 @@
+// Command grass-sim runs one simulated trace under one speculation policy
+// and prints per-bin and aggregate results. It is the quickest way to poke
+// at the simulator:
+//
+//	grass-sim -policy grass -workload facebook -framework hadoop \
+//	          -bound deadline -jobs 200 -seed 1
+//
+// Policies: grass, grass-strawman, grass-best1, grass-best2util,
+// grass-best2acc, gs, ras, late, mantri, nospec, oracle.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/approx-analytics/grass/internal/exp"
+	"github.com/approx-analytics/grass/internal/metrics"
+	"github.com/approx-analytics/grass/internal/sched"
+	"github.com/approx-analytics/grass/internal/task"
+	"github.com/approx-analytics/grass/internal/trace"
+)
+
+func main() {
+	var (
+		policy    = flag.String("policy", "grass", "speculation policy")
+		workload  = flag.String("workload", "facebook", "facebook | bing")
+		framework = flag.String("framework", "hadoop", "hadoop | spark")
+		bound     = flag.String("bound", "deadline", "deadline | error | exact")
+		jobs      = flag.Int("jobs", 200, "number of jobs")
+		load      = flag.Float64("load", 0.7, "offered load")
+		dag       = flag.Int("dag", 1, "DAG length (phases)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		machines  = flag.Int("machines", 200, "cluster machines")
+		slotsPer  = flag.Int("slots", 2, "slots per machine")
+	)
+	flag.Parse()
+	if err := run(*policy, *workload, *framework, *bound, *jobs, *load, *dag, *seed, *machines, *slotsPer); err != nil {
+		fmt.Fprintln(os.Stderr, "grass-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(policy, workload, framework, bound string, jobs int, load float64, dag int, seed int64, machines, slotsPer int) error {
+	tc, err := traceConfig(workload, framework, bound)
+	if err != nil {
+		return err
+	}
+	tc.Jobs = jobs
+	tc.Load = load
+	tc.Seed = seed
+	tc.Slots = machines * slotsPer
+	if dag > 1 {
+		tc.DAGLength = dag
+	}
+	jl, err := trace.Generate(tc)
+	if err != nil {
+		return err
+	}
+
+	scfg := sched.DefaultConfig()
+	scfg.Cluster.Machines = machines
+	scfg.Cluster.SlotsPerMachine = slotsPer
+	scfg.Seed = seed
+	if tc.Framework == trace.Spark {
+		// Smaller tasks are more sensitive to estimation error (§6.3.2).
+		scfg.Estimator.TRemNoise = 0.5
+		scfg.Estimator.TNewNoise = 0.25
+	}
+	factory, oracleMode, err := exp.NewFactory(policy, seed)
+	if err != nil {
+		return err
+	}
+	scfg.Oracle = oracleMode
+
+	sim, err := sched.New(scfg, factory)
+	if err != nil {
+		return err
+	}
+	stats, err := sim.Run(jl)
+	if err != nil {
+		return err
+	}
+	report(tc, factory.Name(), stats)
+	return nil
+}
+
+func traceConfig(workload, framework, bound string) (trace.Config, error) {
+	var w trace.Workload
+	switch strings.ToLower(workload) {
+	case "facebook", "fb":
+		w = trace.Facebook
+	case "bing":
+		w = trace.Bing
+	default:
+		return trace.Config{}, fmt.Errorf("unknown workload %q", workload)
+	}
+	var f trace.Framework
+	switch strings.ToLower(framework) {
+	case "hadoop":
+		f = trace.Hadoop
+	case "spark":
+		f = trace.Spark
+	default:
+		return trace.Config{}, fmt.Errorf("unknown framework %q", framework)
+	}
+	var b trace.BoundMode
+	switch strings.ToLower(bound) {
+	case "deadline":
+		b = trace.DeadlineBound
+	case "error":
+		b = trace.ErrorBound
+	case "exact":
+		b = trace.ExactBound
+	default:
+		return trace.Config{}, fmt.Errorf("unknown bound %q", bound)
+	}
+	return trace.DefaultConfig(w, f, b), nil
+}
+
+func report(tc trace.Config, policy string, stats *sched.RunStats) {
+	fmt.Printf("policy=%s workload=%s framework=%s bound=%v jobs=%d\n",
+		policy, tc.Workload, tc.Framework, boundName(tc.Bound), len(stats.Results))
+	fmt.Printf("makespan=%.1f meanUtil=%.2f events=%d estimatorAcc=%.2f\n",
+		stats.Makespan, stats.MeanUtilization, stats.Events, stats.EstimatorAccuracy)
+	fmt.Printf("%-8s %6s %10s %10s %8s %8s\n", "bin", "jobs", "accuracy", "duration", "spec", "killed")
+	for _, b := range task.AllBins {
+		rs := metrics.FilterBin(stats.Results, b)
+		if len(rs) == 0 {
+			continue
+		}
+		var spec, killed int
+		for _, r := range rs {
+			spec += r.Speculative
+			killed += r.Killed
+		}
+		fmt.Printf("%-8s %6d %10.3f %10.2f %8d %8d\n",
+			b, len(rs), metrics.MeanAccuracy(rs), metrics.MeanInputDuration(rs), spec, killed)
+	}
+	fmt.Printf("%-8s %6d %10.3f %10.2f\n", "all", len(stats.Results),
+		metrics.MeanAccuracy(stats.Results), metrics.MeanInputDuration(stats.Results))
+}
+
+func boundName(b trace.BoundMode) string {
+	switch b {
+	case trace.DeadlineBound:
+		return "deadline"
+	case trace.ErrorBound:
+		return "error"
+	default:
+		return "exact"
+	}
+}

@@ -1,0 +1,106 @@
+// Command grass-trace generates a synthetic workload and prints its
+// Table-1-style summary plus a per-job listing (optionally as JSON for
+// external tooling):
+//
+//	grass-trace -workload bing -framework spark -bound error -jobs 100
+//	grass-trace -json > trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/approx-analytics/grass/internal/task"
+	"github.com/approx-analytics/grass/internal/trace"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "facebook", "facebook | bing")
+		framework = flag.String("framework", "hadoop", "hadoop | spark")
+		bound     = flag.String("bound", "deadline", "deadline | error | exact")
+		jobs      = flag.Int("jobs", 100, "number of jobs")
+		slots     = flag.Int("slots", 400, "cluster slots (calibration)")
+		load      = flag.Float64("load", 1.0, "offered load")
+		dag       = flag.Int("dag", 1, "DAG length")
+		seed      = flag.Int64("seed", 1, "seed")
+		asJSON    = flag.Bool("json", false, "emit the full trace as JSON")
+	)
+	flag.Parse()
+	if err := run(*workload, *framework, *bound, *jobs, *slots, *load, *dag, *seed, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "grass-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload, framework, bound string, jobs, slots int, load float64, dag int, seed int64, asJSON bool) error {
+	var w trace.Workload
+	switch strings.ToLower(workload) {
+	case "facebook", "fb":
+		w = trace.Facebook
+	case "bing":
+		w = trace.Bing
+	default:
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+	var f trace.Framework
+	switch strings.ToLower(framework) {
+	case "hadoop":
+		f = trace.Hadoop
+	case "spark":
+		f = trace.Spark
+	default:
+		return fmt.Errorf("unknown framework %q", framework)
+	}
+	var b trace.BoundMode
+	switch strings.ToLower(bound) {
+	case "deadline":
+		b = trace.DeadlineBound
+	case "error":
+		b = trace.ErrorBound
+	case "exact":
+		b = trace.ExactBound
+	default:
+		return fmt.Errorf("unknown bound %q", bound)
+	}
+	cfg := trace.DefaultConfig(w, f, b)
+	cfg.Jobs = jobs
+	cfg.Slots = slots
+	cfg.Load = load
+	cfg.Seed = seed
+	if dag > 1 {
+		cfg.DAGLength = dag
+	}
+	jl, err := trace.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(jl)
+	}
+	st := trace.Summarize(cfg, jl)
+	fmt.Printf("workload=%s framework=%s bound=%s jobs=%d tasks=%d meanTasks=%.1f span=%.1f\n",
+		st.Workload, st.Framework, bound, st.Jobs, st.TotalTasks, st.MeanTasks, st.Span)
+	for _, bin := range task.AllBins {
+		fmt.Printf("  bin %-8s %d jobs\n", bin, st.BinCounts[bin])
+	}
+	fmt.Printf("%-6s %10s %8s %6s %12s %10s\n", "job", "arrival", "tasks", "dag", "bound", "value")
+	for i, j := range jl {
+		if i >= 15 {
+			fmt.Printf("... (%d more)\n", len(jl)-15)
+			break
+		}
+		val := j.Bound.Deadline
+		if j.Bound.Kind == task.ErrorBound {
+			val = j.Bound.Epsilon
+		}
+		fmt.Printf("%-6d %10.2f %8d %6d %12s %10.3f\n",
+			j.ID, j.Arrival, j.NumTasks(), j.DAGLength(), j.Bound.Kind, val)
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package grass_test
+
+import (
+	"fmt"
+
+	grass "github.com/approx-analytics/grass"
+)
+
+// ExampleSimulate runs a tiny hand-built error-bound job under RAS and
+// prints its accuracy: with ε = 0.2 the job stops after 80% of its tasks.
+func ExampleSimulate() {
+	work := make([]float64, 20)
+	for i := range work {
+		work[i] = 1
+	}
+	jobs := []*grass.Job{{ID: 0, InputWork: work, Bound: grass.NewError(0.2)}}
+
+	cfg := grass.DefaultSimConfig()
+	cfg.Cluster.Machines = 10
+	cfg.Seed = 7
+
+	stats, err := grass.Simulate(cfg, "ras", jobs)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("accuracy %.2f\n", stats.Results[0].Accuracy)
+	// Output: accuracy 0.80
+}
+
+// ExampleNewDeadline shows bound construction and target computation.
+func ExampleNewDeadline() {
+	d := grass.NewDeadline(30)
+	e := grass.NewError(0.1)
+	x := grass.Exact()
+	fmt.Println(d.Kind, e.TargetTasks(100), x.Epsilon)
+	// Output: deadline 90 0
+}
+
+// ExampleGenerateTrace summarizes a synthetic workload.
+func ExampleGenerateTrace() {
+	tc := grass.DefaultTraceConfig(grass.Facebook, grass.Spark, grass.ErrorBound)
+	tc.Jobs = 5
+	tc.Seed = 3
+	jobs, err := grass.GenerateTrace(tc)
+	if err != nil {
+		panic(err)
+	}
+	for _, j := range jobs {
+		fmt.Printf("job %d: %d tasks, eps %.2f\n", j.ID, j.NumTasks(), j.Bound.Epsilon)
+	}
+	// Output:
+	// job 0: 18 tasks, eps 0.24
+	// job 1: 37 tasks, eps 0.24
+	// job 2: 203 tasks, eps 0.21
+	// job 3: 105 tasks, eps 0.13
+	// job 4: 341 tasks, eps 0.22
+}

@@ -1,0 +1,175 @@
+// Package grass is a from-scratch reproduction of GRASS (Ananthanarayanan
+// et al., "GRASS: Trimming Stragglers in Approximation Analytics",
+// NSDI 2014): speculation-aware scheduling for approximation jobs — jobs
+// with deadline or error bounds that need only a subset of their tasks to
+// complete.
+//
+// The package bundles:
+//
+//   - the GRASS speculation algorithm (Greedy Speculative and Resource
+//     Aware Speculative scheduling with learned adaptive switching),
+//   - the production baselines it was evaluated against (LATE, Mantri),
+//   - a discrete-event cluster simulator with heavy-tailed stragglers,
+//     fair sharing with preemption, deadline/error bounds and DAG jobs,
+//   - synthetic Facebook/Bing workload generators, and
+//   - the analytic model of the paper's Appendix A.
+//
+// Quick start:
+//
+//	jobs, _ := grass.GenerateTrace(grass.DefaultTraceConfig(
+//	    grass.Facebook, grass.Hadoop, grass.DeadlineBound))
+//	stats, _ := grass.Simulate(grass.DefaultSimConfig(), "grass", jobs)
+//	fmt.Println(grass.MeanAccuracy(stats.Results))
+//
+// Policy names accepted by Simulate and NewPolicy: "grass",
+// "grass-strawman", "grass-best1", "grass-best2util", "grass-best2acc",
+// "gs", "ras", "late", "mantri", "nospec", "oracle".
+package grass
+
+import (
+	"github.com/approx-analytics/grass/internal/cluster"
+	"github.com/approx-analytics/grass/internal/core"
+	"github.com/approx-analytics/grass/internal/exp"
+	"github.com/approx-analytics/grass/internal/metrics"
+	"github.com/approx-analytics/grass/internal/sched"
+	"github.com/approx-analytics/grass/internal/spec"
+	"github.com/approx-analytics/grass/internal/task"
+	"github.com/approx-analytics/grass/internal/trace"
+)
+
+// Core domain types.
+type (
+	// Job describes one analytics job: per-task work, DAG phases, bound.
+	Job = task.Job
+	// Bound is a job's approximation bound (deadline or error).
+	Bound = task.Bound
+	// BoundKind distinguishes deadline- from error-bound jobs.
+	BoundKind = task.BoundKind
+	// Phase is one intermediate DAG phase.
+	Phase = task.Phase
+	// SizeBin is the paper's job-size classification.
+	SizeBin = task.SizeBin
+	// JobResult is the outcome of one simulated job.
+	JobResult = sched.JobResult
+	// RunStats aggregates one simulation run.
+	RunStats = sched.RunStats
+	// SimConfig parameterizes the cluster simulator.
+	SimConfig = sched.Config
+	// ClusterConfig describes machines and slots.
+	ClusterConfig = cluster.Config
+	// TraceConfig parameterizes synthetic workload generation.
+	TraceConfig = trace.Config
+	// GrassConfig tunes the GRASS policy family (ξ, factors, strawman).
+	GrassConfig = core.Config
+	// PolicyFactory builds per-job speculation policies.
+	PolicyFactory = spec.Factory
+	// Workload selects the mimicked production trace.
+	Workload = trace.Workload
+	// Framework selects the Hadoop or Spark regime.
+	Framework = trace.Framework
+	// BoundMode selects how generated jobs are bounded.
+	BoundMode = trace.BoundMode
+)
+
+// Workload, framework and bound-mode constants.
+const (
+	Facebook = trace.Facebook
+	Bing     = trace.Bing
+
+	Hadoop = trace.Hadoop
+	Spark  = trace.Spark
+
+	DeadlineBound = trace.DeadlineBound
+	ErrorBound    = trace.ErrorBound
+	ExactBound    = trace.ExactBound
+)
+
+// Job-size bins (paper §6.1).
+const (
+	Small  = task.Small
+	Medium = task.Medium
+	Large  = task.Large
+)
+
+// NewDeadline returns a deadline bound of d time units.
+func NewDeadline(d float64) Bound { return task.NewDeadline(d) }
+
+// NewError returns an error bound tolerating fraction eps of skipped tasks.
+func NewError(eps float64) Bound { return task.NewError(eps) }
+
+// Exact returns a zero-error bound (exact computation).
+func Exact() Bound { return task.Exact() }
+
+// DefaultSimConfig returns the evaluation's simulator configuration: a
+// 200-node cluster, β=1.259 straggler tails, estimator noise tuned to the
+// paper's measured accuracies.
+func DefaultSimConfig() SimConfig { return sched.DefaultConfig() }
+
+// DefaultTraceConfig returns a §6.1-calibrated workload configuration.
+func DefaultTraceConfig(w Workload, f Framework, b BoundMode) TraceConfig {
+	return trace.DefaultConfig(w, f, b)
+}
+
+// DefaultGrassConfig returns the paper's GRASS configuration (ξ = 15%, all
+// three switching factors).
+func DefaultGrassConfig() GrassConfig { return core.DefaultConfig() }
+
+// NewPolicy resolves a policy name to a factory. The boolean result
+// reports whether the policy needs oracle mode (ground-truth task views);
+// set SimConfig.Oracle accordingly (Simulate does this for you).
+func NewPolicy(name string, seed int64) (PolicyFactory, bool, error) {
+	return exp.NewFactory(name, seed)
+}
+
+// NewGrassPolicy builds a GRASS factory with a custom configuration
+// (perturbation ξ, factor ablations, strawman switching).
+func NewGrassPolicy(cfg GrassConfig) (PolicyFactory, error) {
+	return core.New(cfg)
+}
+
+// GenerateTrace produces a synthetic workload: jobs sorted by arrival with
+// §6.1-style deadline/error bounds.
+func GenerateTrace(cfg TraceConfig) ([]*Job, error) {
+	return trace.Generate(cfg)
+}
+
+// Simulate runs jobs through the cluster simulator under the named policy.
+// Oracle mode is enabled automatically for the "oracle" policy.
+func Simulate(cfg SimConfig, policy string, jobs []*Job) (*RunStats, error) {
+	factory, oracleMode, err := exp.NewFactory(policy, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Oracle = oracleMode
+	return SimulateWith(cfg, factory, jobs)
+}
+
+// SimulateWith runs jobs under a custom policy factory.
+func SimulateWith(cfg SimConfig, factory PolicyFactory, jobs []*Job) (*RunStats, error) {
+	sim, err := sched.New(cfg, factory)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(jobs)
+}
+
+// MeanAccuracy averages job accuracies (the deadline-bound metric).
+func MeanAccuracy(rs []JobResult) float64 { return metrics.MeanAccuracy(rs) }
+
+// MeanDuration averages input-phase durations (the error-bound metric).
+func MeanDuration(rs []JobResult) float64 { return metrics.MeanInputDuration(rs) }
+
+// AccuracyImprovementPct is the relative accuracy gain of treat over base.
+func AccuracyImprovementPct(base, treat []JobResult) float64 {
+	return metrics.AccuracyImprovementPct(base, treat)
+}
+
+// SpeedupPct is the relative duration reduction of treat versus base.
+func SpeedupPct(base, treat []JobResult) float64 {
+	return metrics.SpeedupPct(base, treat)
+}
+
+// FilterBin keeps the results of one job-size bin.
+func FilterBin(rs []JobResult, b SizeBin) []JobResult {
+	return metrics.FilterBin(rs, b)
+}

@@ -1,0 +1,125 @@
+package grass_test
+
+import (
+	"testing"
+
+	grass "github.com/approx-analytics/grass"
+)
+
+// smallSim returns a fast simulator configuration for facade tests.
+func smallSim(seed int64) grass.SimConfig {
+	cfg := grass.DefaultSimConfig()
+	cfg.Cluster.Machines = 20
+	cfg.Seed = seed
+	return cfg
+}
+
+func smallTrace(b grass.BoundMode, seed int64) grass.TraceConfig {
+	tc := grass.DefaultTraceConfig(grass.Facebook, grass.Hadoop, b)
+	tc.Jobs = 30
+	tc.Slots = 40
+	tc.Seed = seed
+	return tc
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	jobs, err := grass.GenerateTrace(smallTrace(grass.DeadlineBound, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := grass.Simulate(smallSim(1), "grass", jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Results) != 30 {
+		t.Fatalf("%d results", len(stats.Results))
+	}
+	acc := grass.MeanAccuracy(stats.Results)
+	if acc <= 0 || acc > 1 {
+		t.Fatalf("mean accuracy %v", acc)
+	}
+}
+
+func TestHandBuiltJobs(t *testing.T) {
+	work := make([]float64, 60)
+	for i := range work {
+		work[i] = 1
+	}
+	jobs := []*grass.Job{
+		{ID: 0, InputWork: work, Bound: grass.NewError(0.1)},
+		{ID: 1, Arrival: 1, InputWork: work[:20], Bound: grass.Exact(),
+			Phases: []grass.Phase{{NumTasks: 4, WorkScale: 1}}},
+		{ID: 2, Arrival: 2, InputWork: work[:10], Bound: grass.NewDeadline(5)},
+	}
+	stats, err := grass.Simulate(smallSim(2), "ras", jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Results[0].Accuracy < 0.89 {
+		t.Fatalf("error-bound job accuracy %v", stats.Results[0].Accuracy)
+	}
+	if stats.Results[1].Accuracy != 1 {
+		t.Fatalf("exact job accuracy %v", stats.Results[1].Accuracy)
+	}
+	if stats.Results[1].DAGLength != 2 {
+		t.Fatal("DAG length lost")
+	}
+}
+
+func TestOraclePolicyAutoMode(t *testing.T) {
+	jobs, _ := grass.GenerateTrace(smallTrace(grass.ErrorBound, 3))
+	stats, err := grass.Simulate(smallSim(3), "oracle", jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle mode leaves the estimator untouched (cold-start accuracy 0.5).
+	if stats.EstimatorAccuracy != 0.5 {
+		t.Fatalf("oracle run touched the estimator: %v", stats.EstimatorAccuracy)
+	}
+}
+
+func TestCustomGrassPolicy(t *testing.T) {
+	cfg := grass.DefaultGrassConfig()
+	cfg.Xi = 0.3
+	cfg.Seed = 4
+	f, err := grass.NewGrassPolicy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, _ := grass.GenerateTrace(smallTrace(grass.ErrorBound, 4))
+	if _, err := grass.SimulateWith(smallSim(4), f, jobs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownPolicy(t *testing.T) {
+	jobs, _ := grass.GenerateTrace(smallTrace(grass.ErrorBound, 5))
+	if _, err := grass.Simulate(smallSim(5), "nope", jobs); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestMetricsHelpers(t *testing.T) {
+	jobs, _ := grass.GenerateTrace(smallTrace(grass.ErrorBound, 6))
+	late, err := grass.Simulate(smallSim(6), "late", jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ras, err := grass.Simulate(smallSim(6), "ras", jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The helpers must agree with manual computation.
+	sp := grass.SpeedupPct(late.Results, ras.Results)
+	want := (grass.MeanDuration(late.Results) - grass.MeanDuration(ras.Results)) /
+		grass.MeanDuration(late.Results) * 100
+	if sp != want {
+		t.Fatalf("speedup %v != %v", sp, want)
+	}
+	small := grass.FilterBin(late.Results, grass.Small)
+	for _, r := range small {
+		if r.Bin != grass.Small {
+			t.Fatal("filter leaked other bins")
+		}
+	}
+}

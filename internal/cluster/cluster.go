@@ -1,0 +1,137 @@
+// Package cluster models the compute substrate: machines with heterogeneous
+// speeds, compute slots, and utilization accounting. The paper's EC2 testbed
+// (200 nodes) maps to a Config; heterogeneity is one of the two straggler
+// causes the paper cites (§2.1), alongside heavy-tailed task work.
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/approx-analytics/grass/internal/dist"
+)
+
+// Config describes a cluster.
+type Config struct {
+	// Machines is the node count (paper: 200).
+	Machines int
+	// SlotsPerMachine is the number of concurrent task slots per node.
+	SlotsPerMachine int
+	// HeterogeneitySigma is the lognormal sigma of per-machine slowdown
+	// factors. Zero gives a homogeneous cluster. A slowdown of f multiplies
+	// every copy duration on that machine by f.
+	HeterogeneitySigma float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Machines <= 0 {
+		return fmt.Errorf("cluster: %d machines", c.Machines)
+	}
+	if c.SlotsPerMachine <= 0 {
+		return fmt.Errorf("cluster: %d slots per machine", c.SlotsPerMachine)
+	}
+	if c.HeterogeneitySigma < 0 {
+		return fmt.Errorf("cluster: negative heterogeneity sigma %v", c.HeterogeneitySigma)
+	}
+	return nil
+}
+
+// Machine is one node; Slowdown multiplies copy durations placed on it.
+type Machine struct {
+	ID       int
+	Slowdown float64
+}
+
+// Cluster tracks slot occupancy across machines. It is not safe for
+// concurrent use; the discrete-event simulator is single-threaded by design.
+type Cluster struct {
+	machines []Machine
+	free     []int // machine IDs with a free slot, one entry per free slot
+	busy     int
+	total    int
+}
+
+// New builds a cluster, drawing machine slowdowns from a lognormal with the
+// configured sigma (median slowdown 1.0).
+func New(cfg Config, rng *dist.RNG) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		machines: make([]Machine, cfg.Machines),
+		total:    cfg.Machines * cfg.SlotsPerMachine,
+	}
+	ln := dist.Lognormal{Mu: 0, Sigma: cfg.HeterogeneitySigma}
+	for i := range c.machines {
+		slow := 1.0
+		if cfg.HeterogeneitySigma > 0 {
+			slow = ln.Sample(rng)
+		}
+		c.machines[i] = Machine{ID: i, Slowdown: slow}
+	}
+	c.free = make([]int, 0, c.total)
+	for s := 0; s < cfg.SlotsPerMachine; s++ {
+		for i := range c.machines {
+			c.free = append(c.free, i)
+		}
+	}
+	return c, nil
+}
+
+// TotalSlots returns the cluster's slot capacity.
+func (c *Cluster) TotalSlots() int { return c.total }
+
+// FreeSlots returns the number of currently unoccupied slots.
+func (c *Cluster) FreeSlots() int { return len(c.free) }
+
+// BusySlots returns the number of occupied slots.
+func (c *Cluster) BusySlots() int { return c.busy }
+
+// Utilization returns busy/total in [0, 1].
+func (c *Cluster) Utilization() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.busy) / float64(c.total)
+}
+
+// Machine returns the machine with the given ID.
+func (c *Cluster) Machine(id int) Machine { return c.machines[id] }
+
+// Acquire takes one free slot, picking a random free slot so task placement
+// spreads across machines (like a real scheduler's locality-agnostic
+// fallback). It returns the machine the slot lives on and true, or false if
+// the cluster is fully busy.
+func (c *Cluster) Acquire(rng *dist.RNG) (Machine, bool) {
+	if len(c.free) == 0 {
+		return Machine{}, false
+	}
+	i := rng.Intn(len(c.free))
+	id := c.free[i]
+	c.free[i] = c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	c.busy++
+	return c.machines[id], true
+}
+
+// Release returns a slot on machine id to the free pool. It panics if more
+// slots are released than were acquired — that is always a simulator bug.
+func (c *Cluster) Release(id int) {
+	if c.busy <= 0 {
+		panic("cluster: Release without matching Acquire")
+	}
+	if id < 0 || id >= len(c.machines) {
+		panic(fmt.Sprintf("cluster: Release of unknown machine %d", id))
+	}
+	c.busy--
+	c.free = append(c.free, id)
+}
+
+// Slowdowns returns each machine's slowdown factor (for tests and reports).
+func (c *Cluster) Slowdowns() []float64 {
+	out := make([]float64, len(c.machines))
+	for i, m := range c.machines {
+		out[i] = m.Slowdown
+	}
+	return out
+}

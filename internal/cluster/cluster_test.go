@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/approx-analytics/grass/internal/dist"
+)
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Machines: 0, SlotsPerMachine: 1},
+		{Machines: 1, SlotsPerMachine: 0},
+		{Machines: 1, SlotsPerMachine: 1, HeterogeneitySigma: -1},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if (Config{Machines: 10, SlotsPerMachine: 2}).Validate() != nil {
+		t.Error("valid config rejected")
+	}
+}
+
+func TestAcquireRelease(t *testing.T) {
+	rng := dist.NewRNG(1)
+	c, err := New(Config{Machines: 3, SlotsPerMachine: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalSlots() != 6 || c.FreeSlots() != 6 || c.BusySlots() != 0 {
+		t.Fatalf("fresh cluster counts wrong: %d %d %d", c.TotalSlots(), c.FreeSlots(), c.BusySlots())
+	}
+	var ms []Machine
+	for i := 0; i < 6; i++ {
+		m, ok := c.Acquire(rng)
+		if !ok {
+			t.Fatalf("acquire %d failed", i)
+		}
+		ms = append(ms, m)
+	}
+	if _, ok := c.Acquire(rng); ok {
+		t.Fatal("acquire succeeded on full cluster")
+	}
+	if c.Utilization() != 1 {
+		t.Fatalf("utilization %v, want 1", c.Utilization())
+	}
+	for _, m := range ms {
+		c.Release(m.ID)
+	}
+	if c.FreeSlots() != 6 || c.BusySlots() != 0 {
+		t.Fatal("counts wrong after full release")
+	}
+	if c.Utilization() != 0 {
+		t.Fatalf("utilization %v, want 0", c.Utilization())
+	}
+}
+
+func TestReleaseUnderflowPanics(t *testing.T) {
+	rng := dist.NewRNG(2)
+	c, _ := New(Config{Machines: 1, SlotsPerMachine: 1}, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without Acquire did not panic")
+		}
+	}()
+	c.Release(0)
+}
+
+func TestReleaseUnknownMachinePanics(t *testing.T) {
+	rng := dist.NewRNG(2)
+	c, _ := New(Config{Machines: 1, SlotsPerMachine: 1}, rng)
+	c.Acquire(rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release of unknown machine did not panic")
+		}
+	}()
+	c.Release(5)
+}
+
+func TestHomogeneousSlowdowns(t *testing.T) {
+	rng := dist.NewRNG(3)
+	c, _ := New(Config{Machines: 10, SlotsPerMachine: 1}, rng)
+	for _, s := range c.Slowdowns() {
+		if s != 1 {
+			t.Fatalf("homogeneous cluster has slowdown %v", s)
+		}
+	}
+}
+
+func TestHeterogeneousSlowdowns(t *testing.T) {
+	rng := dist.NewRNG(4)
+	c, _ := New(Config{Machines: 200, SlotsPerMachine: 1, HeterogeneitySigma: 0.3}, rng)
+	s := c.Slowdowns()
+	if dist.StdDev(s) == 0 {
+		t.Fatal("heterogeneous cluster has identical machines")
+	}
+	med := dist.Median(s)
+	if med < 0.7 || med > 1.4 {
+		t.Fatalf("median slowdown %v, expected near 1", med)
+	}
+	for _, v := range s {
+		if v <= 0 {
+			t.Fatalf("non-positive slowdown %v", v)
+		}
+	}
+}
+
+func TestAcquireSpreadsAcrossMachines(t *testing.T) {
+	rng := dist.NewRNG(5)
+	c, _ := New(Config{Machines: 4, SlotsPerMachine: 4}, rng)
+	seen := map[int]int{}
+	for i := 0; i < 8; i++ {
+		m, ok := c.Acquire(rng)
+		if !ok {
+			t.Fatal("acquire failed")
+		}
+		seen[m.ID]++
+	}
+	if len(seen) < 3 {
+		t.Fatalf("8 acquisitions landed on only %d machines", len(seen))
+	}
+}
+
+func TestSlotConservationProperty(t *testing.T) {
+	// Under any interleaving of acquires and releases, free+busy == total and
+	// utilization stays in [0,1].
+	if err := quick.Check(func(seed int64, ops []bool) bool {
+		rng := dist.NewRNG(seed)
+		c, err := New(Config{Machines: 5, SlotsPerMachine: 3}, rng)
+		if err != nil {
+			return false
+		}
+		var held []int
+		for _, acquire := range ops {
+			if acquire {
+				if m, ok := c.Acquire(rng); ok {
+					held = append(held, m.ID)
+				}
+			} else if len(held) > 0 {
+				c.Release(held[len(held)-1])
+				held = held[:len(held)-1]
+			}
+			if c.FreeSlots()+c.BusySlots() != c.TotalSlots() {
+				return false
+			}
+			u := c.Utilization()
+			if u < 0 || u > 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+// Package core implements the paper's primary contribution: the GRASS
+// speculation algorithm (§4). GRASS starts every job under RAS and switches
+// to GS as the job approaches its approximation bound. The switching point
+// is learned from samples of past job performance: with probability ξ a job
+// is perturbed to run pure GS or pure RAS for its whole life (§4.2), and the
+// tasks-completed-versus-time curves of those sample jobs — bucketed by job
+// size, wave count (a utilization proxy) and estimation accuracy (§4.1) —
+// let an adaptive job evaluate every candidate switch point in its remaining
+// work and switch exactly when "the best accuracy is obtained by switching
+// now".
+package core
+
+import "math"
+
+// Curve is a monotone tasks-completed-versus-time record of one job: the
+// fraction of input tasks done as a function of time since the job started.
+// GRASS's learner stores one curve per sample job.
+type Curve struct {
+	ts []float64
+	fs []float64
+}
+
+// Add appends a point. Points must arrive with non-decreasing time and
+// fraction; violating points are clamped monotone (completions can share a
+// timestamp).
+func (c *Curve) Add(t, f float64) {
+	if n := len(c.ts); n > 0 {
+		if t < c.ts[n-1] {
+			t = c.ts[n-1]
+		}
+		if f < c.fs[n-1] {
+			f = c.fs[n-1]
+		}
+	}
+	c.ts = append(c.ts, t)
+	c.fs = append(c.fs, f)
+}
+
+// Len returns the number of points.
+func (c *Curve) Len() int { return len(c.ts) }
+
+// Empty reports whether the curve has no points.
+func (c *Curve) Empty() bool { return len(c.ts) == 0 }
+
+// Final returns the last recorded (time, fraction), or zeros when empty.
+func (c *Curve) Final() (t, f float64) {
+	if len(c.ts) == 0 {
+		return 0, 0
+	}
+	return c.ts[len(c.ts)-1], c.fs[len(c.ts)-1]
+}
+
+// FracAt returns the completed fraction at time t: the fraction of the last
+// point at or before t (0 before the first point).
+func (c *Curve) FracAt(t float64) float64 {
+	// Binary search for the last index with ts <= t.
+	lo, hi := 0, len(c.ts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.ts[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return c.fs[lo-1]
+}
+
+// TimeToFrac returns the earliest time the curve reaches fraction f. If the
+// curve never got that far, the time is extrapolated proportionally from the
+// final point (an error-bound sample job stops at its target fraction, but
+// queries may ask beyond it).
+func (c *Curve) TimeToFrac(f float64) float64 {
+	if f <= 0 {
+		return 0
+	}
+	lastT, lastF := c.Final()
+	if lastF < f {
+		if lastF <= 0 || lastT <= 0 {
+			return math.Inf(1)
+		}
+		return lastT * f / lastF
+	}
+	lo, hi := 0, len(c.fs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.fs[mid] < f {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return c.ts[lo]
+}
+
+// Downsample returns a curve with at most max points, keeping the first and
+// last and evenly spanning the rest. The receiver is returned unchanged if
+// it already fits.
+func (c *Curve) Downsample(max int) *Curve {
+	if max < 2 {
+		max = 2
+	}
+	n := len(c.ts)
+	if n <= max {
+		return c
+	}
+	out := &Curve{ts: make([]float64, 0, max), fs: make([]float64, 0, max)}
+	for i := 0; i < max; i++ {
+		idx := i * (n - 1) / (max - 1)
+		out.ts = append(out.ts, c.ts[idx])
+		out.fs = append(out.fs, c.fs[idx])
+	}
+	return out
+}

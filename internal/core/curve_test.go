@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/approx-analytics/grass/internal/dist"
+)
+
+func TestCurveBasics(t *testing.T) {
+	var c Curve
+	if !c.Empty() || c.Len() != 0 {
+		t.Fatal("fresh curve not empty")
+	}
+	if ft, ff := c.Final(); ft != 0 || ff != 0 {
+		t.Fatal("empty Final should be zeros")
+	}
+	c.Add(1, 0.1)
+	c.Add(2, 0.2)
+	c.Add(4, 0.5)
+	if c.Len() != 3 || c.Empty() {
+		t.Fatal("curve length wrong")
+	}
+	ft, ff := c.Final()
+	if ft != 4 || ff != 0.5 {
+		t.Fatalf("Final = (%v, %v)", ft, ff)
+	}
+}
+
+func TestCurveFracAt(t *testing.T) {
+	var c Curve
+	c.Add(1, 0.25)
+	c.Add(2, 0.5)
+	c.Add(4, 1.0)
+	cases := []struct{ t, want float64 }{
+		{0, 0}, {0.99, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.5}, {3.9, 0.5}, {4, 1}, {100, 1},
+	}
+	for _, cs := range cases {
+		if got := c.FracAt(cs.t); got != cs.want {
+			t.Errorf("FracAt(%v) = %v, want %v", cs.t, got, cs.want)
+		}
+	}
+}
+
+func TestCurveTimeToFrac(t *testing.T) {
+	var c Curve
+	c.Add(1, 0.25)
+	c.Add(2, 0.5)
+	c.Add(4, 1.0)
+	cases := []struct{ f, want float64 }{
+		{0, 0}, {0.1, 1}, {0.25, 1}, {0.3, 2}, {0.5, 2}, {0.9, 4}, {1, 4},
+	}
+	for _, cs := range cases {
+		if got := c.TimeToFrac(cs.f); got != cs.want {
+			t.Errorf("TimeToFrac(%v) = %v, want %v", cs.f, got, cs.want)
+		}
+	}
+}
+
+func TestCurveTimeToFracExtrapolates(t *testing.T) {
+	var c Curve
+	c.Add(2, 0.5) // job stopped at half done
+	if got := c.TimeToFrac(1.0); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("extrapolated time %v, want 4", got)
+	}
+}
+
+func TestCurveTimeToFracInfiniteWhenNoProgress(t *testing.T) {
+	var c Curve
+	c.Add(5, 0) // never completed anything
+	if got := c.TimeToFrac(0.5); !math.IsInf(got, 1) {
+		t.Fatalf("got %v, want +Inf", got)
+	}
+}
+
+func TestCurveMonotoneClamping(t *testing.T) {
+	var c Curve
+	c.Add(2, 0.5)
+	c.Add(1, 0.4) // regressions are clamped
+	ft, ff := c.Final()
+	if ft < 2 || ff < 0.5 {
+		t.Fatalf("clamping failed: (%v, %v)", ft, ff)
+	}
+}
+
+func TestCurveDownsample(t *testing.T) {
+	var c Curve
+	for i := 0; i < 100; i++ {
+		c.Add(float64(i), float64(i)/100)
+	}
+	d := c.Downsample(10)
+	if d.Len() != 10 {
+		t.Fatalf("downsampled to %d points", d.Len())
+	}
+	// First and last preserved.
+	if d.ts[0] != 0 || d.ts[9] != 99 {
+		t.Fatalf("endpoints lost: %v ... %v", d.ts[0], d.ts[9])
+	}
+	// No-op when already small.
+	if c2 := d.Downsample(50); c2 != d {
+		t.Fatal("downsample of small curve should return receiver")
+	}
+}
+
+func TestCurvePropertyMonotone(t *testing.T) {
+	// Whatever is added, FracAt is non-decreasing in t and TimeToFrac is
+	// non-decreasing in f.
+	if err := quick.Check(func(seed int64) bool {
+		r := dist.NewRNG(seed)
+		var c Curve
+		tm, f := 0.0, 0.0
+		n := 1 + r.Intn(40)
+		for i := 0; i < n; i++ {
+			tm += r.Float64()
+			f += r.Float64() / float64(n)
+			if f > 1 {
+				f = 1
+			}
+			c.Add(tm, f)
+		}
+		prev := -1.0
+		for q := 0.0; q <= tm+1; q += tm / 7.0 {
+			v := c.FracAt(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		prevT := -1.0
+		for q := 0.05; q <= 1; q += 0.1 {
+			v := c.TimeToFrac(q)
+			if math.IsInf(v, 1) {
+				continue
+			}
+			if v < prevT {
+				return false
+			}
+			prevT = v
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/approx-analytics/grass/internal/task"
+)
+
+// mkCurve builds a linear curve reaching frac `final` at time `dur`.
+func mkCurve(dur, final float64) *Curve {
+	var c Curve
+	for i := 1; i <= 10; i++ {
+		c.Add(dur*float64(i)/10, final*float64(i)/10)
+	}
+	return &c
+}
+
+func TestBuckets(t *testing.T) {
+	if wavesBucket(0.5) != 0 || wavesBucket(1) != 0 || wavesBucket(1.5) != 1 ||
+		wavesBucket(3) != 2 || wavesBucket(10) != 3 {
+		t.Fatal("waves bucketing wrong")
+	}
+	if accBucket(0.5) != 0 || accBucket(0.7) != 1 || accBucket(0.9) != 2 {
+		t.Fatal("accuracy bucketing wrong")
+	}
+}
+
+func TestLearnerRecordAndPredict(t *testing.T) {
+	l := NewLearner(AllFactors())
+	if _, ok := l.PredictFrac(sampleGS, task.Small, 2, 0.7, 1); ok {
+		t.Fatal("empty learner predicted")
+	}
+	l.Record(sampleGS, task.Small, 2, 0.7, mkCurve(10, 1))
+	if l.Samples(task.Small, sampleGS) != 1 {
+		t.Fatal("sample not stored")
+	}
+	got, ok := l.PredictFrac(sampleGS, task.Small, 2, 0.7, 5)
+	if !ok || math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("PredictFrac = %v ok=%v, want 0.5", got, ok)
+	}
+	tt, ok := l.PredictTime(sampleGS, task.Small, 2, 0.7, 0.5)
+	if !ok || math.Abs(tt-5) > 1e-9 {
+		t.Fatalf("PredictTime = %v ok=%v, want 5", tt, ok)
+	}
+}
+
+func TestLearnerAverages(t *testing.T) {
+	l := NewLearner(AllFactors())
+	l.Record(sampleRAS, task.Medium, 2, 0.7, mkCurve(10, 1))
+	l.Record(sampleRAS, task.Medium, 2, 0.7, mkCurve(20, 1))
+	got, ok := l.PredictFrac(sampleRAS, task.Medium, 2, 0.7, 10)
+	if !ok || math.Abs(got-0.75) > 1e-9 { // (1.0 + 0.5)/2
+		t.Fatalf("average prediction %v, want 0.75", got)
+	}
+}
+
+func TestLearnerIgnoresEmptyCurves(t *testing.T) {
+	l := NewLearner(AllFactors())
+	l.Record(sampleGS, task.Small, 2, 0.7, &Curve{})
+	l.Record(sampleGS, task.Small, 2, 0.7, nil)
+	if l.Samples(task.Small, sampleGS) != 0 {
+		t.Fatal("empty curve stored")
+	}
+}
+
+func TestLearnerRingEviction(t *testing.T) {
+	l := NewLearner(AllFactors())
+	for i := 0; i < 200; i++ {
+		l.Record(sampleGS, task.Large, 2, 0.7, mkCurve(float64(i+1), 1))
+	}
+	if got := l.Samples(task.Large, sampleGS); got != l.maxPerKey {
+		t.Fatalf("ring holds %d, want %d", got, l.maxPerKey)
+	}
+}
+
+func TestLearnerSeparatesPoliciesAndBins(t *testing.T) {
+	l := NewLearner(AllFactors())
+	l.Record(sampleGS, task.Small, 2, 0.7, mkCurve(10, 1))
+	l.Record(sampleRAS, task.Small, 2, 0.7, mkCurve(100, 1))
+	l.Record(sampleGS, task.Large, 2, 0.7, mkCurve(1000, 1))
+	gsT, _ := l.PredictTime(sampleGS, task.Small, 2, 0.7, 1)
+	rasT, _ := l.PredictTime(sampleRAS, task.Small, 2, 0.7, 1)
+	lgT, _ := l.PredictTime(sampleGS, task.Large, 2, 0.7, 1)
+	if gsT != 10 || rasT != 100 || lgT != 1000 {
+		t.Fatalf("cross-contamination: %v %v %v", gsT, rasT, lgT)
+	}
+}
+
+func TestLearnerFactorMatching(t *testing.T) {
+	l := NewLearner(AllFactors())
+	// Three samples in waves-bucket 1 (≤2 waves), fast; three in bucket 3
+	// (>4 waves), slow. Same accuracy bucket.
+	for i := 0; i < 3; i++ {
+		l.Record(sampleGS, task.Medium, 2, 0.9, mkCurve(10, 1))
+		l.Record(sampleGS, task.Medium, 10, 0.9, mkCurve(100, 1))
+	}
+	fast, ok := l.PredictTime(sampleGS, task.Medium, 2, 0.9, 1)
+	if !ok || fast != 10 {
+		t.Fatalf("waves=2 prediction %v, want 10 (only fast samples)", fast)
+	}
+	slow, ok := l.PredictTime(sampleGS, task.Medium, 10, 0.9, 1)
+	if !ok || slow != 100 {
+		t.Fatalf("waves=10 prediction %v, want 100 (only slow samples)", slow)
+	}
+}
+
+func TestLearnerFactorDisabled(t *testing.T) {
+	// With Utilization disabled, waves must not filter: predictions mix.
+	l := NewLearner(FactorSet{})
+	for i := 0; i < 3; i++ {
+		l.Record(sampleGS, task.Medium, 2, 0.9, mkCurve(10, 1))
+		l.Record(sampleGS, task.Medium, 10, 0.9, mkCurve(100, 1))
+	}
+	got, ok := l.PredictTime(sampleGS, task.Medium, 2, 0.9, 1)
+	if !ok || math.Abs(got-55) > 1e-9 {
+		t.Fatalf("Best-1 prediction %v, want mixed 55", got)
+	}
+}
+
+func TestLearnerFallbackWhenBucketSparse(t *testing.T) {
+	l := NewLearner(AllFactors())
+	// Plenty of samples, but none in the queried (waves, acc) bucket.
+	for i := 0; i < 5; i++ {
+		l.Record(sampleRAS, task.Small, 10, 0.9, mkCurve(50, 1))
+	}
+	got, ok := l.PredictTime(sampleRAS, task.Small, 1, 0.5, 1)
+	if !ok || got != 50 {
+		t.Fatalf("fallback prediction %v ok=%v, want 50", got, ok)
+	}
+}
+
+func TestPredictTimeSkipsInfinite(t *testing.T) {
+	l := NewLearner(AllFactors())
+	var dead Curve
+	dead.Add(5, 0) // job that completed nothing
+	l.Record(sampleGS, task.Small, 2, 0.7, &dead)
+	if _, ok := l.PredictTime(sampleGS, task.Small, 2, 0.7, 0.5); ok {
+		t.Fatal("prediction from all-infinite samples should fail")
+	}
+	l.Record(sampleGS, task.Small, 2, 0.7, mkCurve(10, 1))
+	got, ok := l.PredictTime(sampleGS, task.Small, 2, 0.7, 0.5)
+	if !ok || got != 5 {
+		t.Fatalf("finite sample ignored: %v ok=%v", got, ok)
+	}
+}
+
+func TestAggregateAveragesAndCaches(t *testing.T) {
+	l := NewLearner(AllFactors())
+	if _, ok := l.Aggregate(sampleGS, task.Small, 2, 0.7); ok {
+		t.Fatal("empty learner aggregated")
+	}
+	l.Record(sampleGS, task.Small, 2, 0.7, mkCurve(10, 1))
+	l.Record(sampleGS, task.Small, 2, 0.7, mkCurve(20, 1))
+	c, ok := l.Aggregate(sampleGS, task.Small, 2, 0.7)
+	if !ok {
+		t.Fatal("aggregate failed")
+	}
+	// At t=10 the first curve is done (1.0), the second halfway (0.5).
+	if got := c.FracAt(10); math.Abs(got-0.75) > 0.06 {
+		t.Fatalf("aggregate FracAt(10) = %v, want ~0.75", got)
+	}
+	// Cached pointer until the next Record.
+	c2, _ := l.Aggregate(sampleGS, task.Small, 2, 0.7)
+	if c2 != c {
+		t.Fatal("aggregate not cached")
+	}
+	l.Record(sampleGS, task.Small, 2, 0.7, mkCurve(30, 1))
+	c3, _ := l.Aggregate(sampleGS, task.Small, 2, 0.7)
+	if c3 == c {
+		t.Fatal("cache not invalidated by Record")
+	}
+}
+
+func TestAggregateMonotone(t *testing.T) {
+	l := NewLearner(AllFactors())
+	for i := 1; i <= 5; i++ {
+		l.Record(sampleRAS, task.Medium, 3, 0.7, mkCurve(float64(i*7), 0.2*float64(i)))
+	}
+	c, ok := l.Aggregate(sampleRAS, task.Medium, 3, 0.7)
+	if !ok {
+		t.Fatal("aggregate failed")
+	}
+	prev := -1.0
+	for tm := 0.0; tm <= 40; tm += 2 {
+		v := c.FracAt(tm)
+		if v < prev {
+			t.Fatalf("aggregate not monotone at t=%v", tm)
+		}
+		prev = v
+	}
+}

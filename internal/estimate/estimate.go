@@ -1,0 +1,248 @@
+// Package estimate implements the task duration estimators of §5.1:
+//
+//   - t_rem, the remaining duration of a running copy, extrapolated from
+//     progress reports (modelled as the true remaining time perturbed by
+//     configurable relative noise — real extrapolation is linear in progress
+//     and therefore noisy in exactly this way);
+//   - t_new, the duration of a fresh copy, sampled from the durations of
+//     completed tasks normalized by input size.
+//
+// The paper measures moderate accuracies (72% for t_rem, 76% for t_new) and
+// feeds the measured accuracy into GRASS's switching decision; Estimator
+// reproduces that bookkeeping: every estimate can later be scored against
+// the actual outcome, and Accuracy() reports the running average.
+package estimate
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/approx-analytics/grass/internal/dist"
+)
+
+// Config tunes an Estimator.
+type Config struct {
+	// TRemNoise is the relative error sigma applied to remaining-time
+	// estimates. 0 gives perfect estimates; ≈0.45 reproduces the paper's
+	// ~72% measured accuracy.
+	TRemNoise float64
+	// TNewNoise is the additional relative error sigma applied on top of the
+	// empirical new-copy estimate. ≈0.35 reproduces ~76% accuracy.
+	TNewNoise float64
+	// Prior is the assumed normalized task duration before any task has
+	// completed (a cold-start prior, like Hadoop's default of assuming tasks
+	// take the job's configured average).
+	Prior float64
+	// Window caps how many recent completions inform t_new (0 means 512).
+	Window int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.TRemNoise < 0 || c.TNewNoise < 0 {
+		return fmt.Errorf("estimate: negative noise (trem=%v, tnew=%v)", c.TRemNoise, c.TNewNoise)
+	}
+	if c.Prior <= 0 {
+		return fmt.Errorf("estimate: prior %v must be positive", c.Prior)
+	}
+	if c.Window < 0 {
+		return fmt.Errorf("estimate: negative window %d", c.Window)
+	}
+	return nil
+}
+
+// Estimator produces noisy t_rem / t_new estimates and tracks their measured
+// accuracy. Not safe for concurrent use.
+type Estimator struct {
+	cfg Config
+	rng *dist.RNG
+
+	// Ring buffer of normalized completed-task durations (eviction order)
+	// plus a sorted mirror for O(log n + n) median maintenance.
+	window []float64
+	sorted []float64
+	next   int
+	filled bool
+
+	tremAccSum float64
+	tremN      int
+	tnewAccSum float64
+	tnewN      int
+}
+
+// New constructs an Estimator. rng drives the noise; pass a Split of the
+// simulation RNG so estimator noise is reproducible.
+func New(cfg Config, rng *dist.RNG) (*Estimator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := cfg.Window
+	if w == 0 {
+		w = 512
+	}
+	return &Estimator{
+		cfg:    cfg,
+		rng:    rng,
+		window: make([]float64, 0, w),
+		sorted: make([]float64, 0, w),
+	}, nil
+}
+
+// noisy returns v multiplied by (1 + N(0, sigma)), floored at a small
+// positive fraction of v so estimates stay positive.
+func (e *Estimator) noisy(v, sigma float64) float64 {
+	if sigma == 0 || v == 0 {
+		return v
+	}
+	f := 1 + sigma*e.rng.Norm()
+	if f < 0.05 {
+		f = 0.05
+	}
+	return v * f
+}
+
+// TRem estimates the remaining duration of a running copy whose true
+// remaining time is trueRem. The simulator owns the ground truth; the
+// estimator injects the error a progress-based extrapolation would have.
+func (e *Estimator) TRem(trueRem float64) float64 {
+	return e.noisy(trueRem, e.cfg.TRemNoise)
+}
+
+// SampleTRemBias draws a persistent multiplicative error for one copy's
+// remaining-time estimates. Extrapolation error is systematic per copy —
+// the same skewed progress reports produce the same skew on every query —
+// so the scheduler attaches one bias to each copy rather than re-rolling
+// noise per estimate (re-rolled noise would let a policy "retry the dice"
+// every scheduling round and over-speculate on transient spikes).
+func (e *Estimator) SampleTRemBias() float64 {
+	return e.biasFactor(e.cfg.TRemNoise)
+}
+
+// SampleTNewBias draws a persistent multiplicative error for one task's
+// fresh-copy estimates (mis-sized inputs skew every t_new query for that
+// task the same way).
+func (e *Estimator) SampleTNewBias() float64 {
+	return e.biasFactor(e.cfg.TNewNoise)
+}
+
+func (e *Estimator) biasFactor(sigma float64) float64 {
+	if sigma == 0 {
+		return 1
+	}
+	f := 1 + sigma*e.rng.Norm()
+	if f < 0.05 {
+		f = 0.05
+	}
+	return f
+}
+
+// TNew estimates the duration of a new copy of a task with intrinsic work
+// scale workScale, using the median of completed normalized durations
+// (§5.1: "sampling from durations of completed tasks normalized to input
+// and output sizes").
+func (e *Estimator) TNew(workScale float64) float64 {
+	return e.noisy(e.NormalizedMedian()*workScale, e.cfg.TNewNoise)
+}
+
+// NormalizedMedian returns the median completed duration per unit work, or
+// the prior before any completion.
+func (e *Estimator) NormalizedMedian() float64 {
+	n := len(e.sorted)
+	if n == 0 {
+		return e.cfg.Prior
+	}
+	if n%2 == 1 {
+		return e.sorted[n/2]
+	}
+	return (e.sorted[n/2-1] + e.sorted[n/2]) / 2
+}
+
+// ObserveCompletion records a completed task's duration-per-unit-work,
+// updating the t_new empirical base ("the tnew values of all tasks are
+// updated whenever a task completes").
+func (e *Estimator) ObserveCompletion(normalizedDuration float64) {
+	if normalizedDuration <= 0 {
+		return
+	}
+	if len(e.window) < cap(e.window) {
+		e.window = append(e.window, normalizedDuration)
+	} else {
+		e.sortedRemove(e.window[e.next])
+		e.window[e.next] = normalizedDuration
+		e.next = (e.next + 1) % cap(e.window)
+		e.filled = true
+	}
+	e.sortedInsert(normalizedDuration)
+}
+
+func (e *Estimator) sortedInsert(v float64) {
+	i := sort.SearchFloat64s(e.sorted, v)
+	e.sorted = append(e.sorted, 0)
+	copy(e.sorted[i+1:], e.sorted[i:])
+	e.sorted[i] = v
+}
+
+func (e *Estimator) sortedRemove(v float64) {
+	i := sort.SearchFloat64s(e.sorted, v)
+	if i < len(e.sorted) && e.sorted[i] == v {
+		e.sorted = append(e.sorted[:i], e.sorted[i+1:]...)
+	}
+}
+
+// Completions returns how many samples currently inform t_new.
+func (e *Estimator) Completions() int { return len(e.window) }
+
+// score converts an (estimate, actual) pair into the paper's accuracy
+// measure: 1 − relative error, clamped to [0, 1].
+func score(est, actual float64) float64 {
+	if actual <= 0 {
+		return 0
+	}
+	rel := (est - actual) / actual
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 1 {
+		rel = 1
+	}
+	return 1 - rel
+}
+
+// RecordTRem scores a past t_rem estimate against the realized remaining
+// time ("when a task completes, we update the accuracy using the estimated
+// and actual durations").
+func (e *Estimator) RecordTRem(est, actual float64) {
+	e.tremAccSum += score(est, actual)
+	e.tremN++
+}
+
+// RecordTNew scores a past t_new estimate against a realized fresh-copy
+// duration.
+func (e *Estimator) RecordTNew(est, actual float64) {
+	e.tnewAccSum += score(est, actual)
+	e.tnewN++
+}
+
+// TRemAccuracy returns the measured mean accuracy of t_rem estimates, or 0.5
+// (maximally uncertain) before any measurement.
+func (e *Estimator) TRemAccuracy() float64 {
+	if e.tremN == 0 {
+		return 0.5
+	}
+	return e.tremAccSum / float64(e.tremN)
+}
+
+// TNewAccuracy returns the measured mean accuracy of t_new estimates, or 0.5
+// before any measurement.
+func (e *Estimator) TNewAccuracy() float64 {
+	if e.tnewN == 0 {
+		return 0.5
+	}
+	return e.tnewAccSum / float64(e.tnewN)
+}
+
+// Accuracy returns the combined estimation accuracy — the third factor in
+// GRASS's switching decision (§4.1).
+func (e *Estimator) Accuracy() float64 {
+	return (e.TRemAccuracy() + e.TNewAccuracy()) / 2
+}

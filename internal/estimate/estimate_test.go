@@ -1,0 +1,174 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"github.com/approx-analytics/grass/internal/dist"
+)
+
+func newTest(t *testing.T, cfg Config, seed int64) *Estimator {
+	t.Helper()
+	e, err := New(cfg, dist.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{TRemNoise: -1, Prior: 1},
+		{TNewNoise: -1, Prior: 1},
+		{Prior: 0},
+		{Prior: 1, Window: -1},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestPerfectEstimates(t *testing.T) {
+	e := newTest(t, Config{Prior: 1}, 1)
+	if got := e.TRem(7.5); got != 7.5 {
+		t.Fatalf("zero-noise TRem(7.5) = %v", got)
+	}
+	e.ObserveCompletion(2.0)
+	if got := e.TNew(3); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("TNew(3) with median 2 = %v, want 6", got)
+	}
+}
+
+func TestPriorUsedBeforeCompletions(t *testing.T) {
+	e := newTest(t, Config{Prior: 4}, 2)
+	if got := e.TNew(2); math.Abs(got-8) > 1e-12 {
+		t.Fatalf("cold-start TNew(2) = %v, want 8", got)
+	}
+}
+
+func TestMedianTracksCompletions(t *testing.T) {
+	e := newTest(t, Config{Prior: 1}, 3)
+	for _, v := range []float64{1, 100, 3} {
+		e.ObserveCompletion(v)
+	}
+	if got := e.NormalizedMedian(); got != 3 {
+		t.Fatalf("median %v, want 3", got)
+	}
+	e.ObserveCompletion(5)
+	if got := e.NormalizedMedian(); got != 4 {
+		t.Fatalf("median of {1,3,5,100} = %v, want 4", got)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	e := newTest(t, Config{Prior: 1, Window: 4}, 4)
+	// Fill with large values, then push enough small ones to evict them all.
+	for i := 0; i < 4; i++ {
+		e.ObserveCompletion(100)
+	}
+	for i := 0; i < 4; i++ {
+		e.ObserveCompletion(1)
+	}
+	if got := e.NormalizedMedian(); got != 1 {
+		t.Fatalf("median after eviction %v, want 1", got)
+	}
+	if e.Completions() != 4 {
+		t.Fatalf("window holds %d, want 4", e.Completions())
+	}
+}
+
+func TestNonPositiveCompletionsIgnored(t *testing.T) {
+	e := newTest(t, Config{Prior: 2}, 5)
+	e.ObserveCompletion(0)
+	e.ObserveCompletion(-3)
+	if e.Completions() != 0 {
+		t.Fatal("non-positive completions recorded")
+	}
+	if e.NormalizedMedian() != 2 {
+		t.Fatal("prior lost after ignored completions")
+	}
+}
+
+func TestNoiseStaysPositive(t *testing.T) {
+	e := newTest(t, Config{Prior: 1, TRemNoise: 2.0}, 6) // absurd noise
+	for i := 0; i < 10000; i++ {
+		if v := e.TRem(5); v <= 0 {
+			t.Fatalf("TRem produced non-positive %v", v)
+		}
+	}
+}
+
+func TestNoiseMagnitude(t *testing.T) {
+	// With sigma=0.45 the measured accuracy should land near the paper's
+	// ~72%; this also exercises the Record/Accuracy loop end to end.
+	e := newTest(t, Config{Prior: 1, TRemNoise: 0.45}, 7)
+	for i := 0; i < 20000; i++ {
+		actual := 10.0
+		est := e.TRem(actual)
+		e.RecordTRem(est, actual)
+	}
+	acc := e.TRemAccuracy()
+	if acc < 0.6 || acc > 0.8 {
+		t.Fatalf("measured TRem accuracy %v, want ≈0.72", acc)
+	}
+}
+
+func TestAccuracyScoring(t *testing.T) {
+	e := newTest(t, Config{Prior: 1}, 8)
+	e.RecordTNew(10, 10) // perfect
+	if got := e.TNewAccuracy(); got != 1 {
+		t.Fatalf("perfect estimate scored %v", got)
+	}
+	e.RecordTNew(0, 10) // 100% off
+	if got := e.TNewAccuracy(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("mean accuracy %v, want 0.5", got)
+	}
+	e.RecordTNew(30, 10) // >100% off clamps to 0
+	if got := e.TNewAccuracy(); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Fatalf("mean accuracy %v, want 1/3", got)
+	}
+}
+
+func TestDefaultAccuracyBeforeData(t *testing.T) {
+	e := newTest(t, Config{Prior: 1}, 9)
+	if e.TRemAccuracy() != 0.5 || e.TNewAccuracy() != 0.5 || e.Accuracy() != 0.5 {
+		t.Fatal("cold-start accuracy should be 0.5")
+	}
+}
+
+func TestCombinedAccuracy(t *testing.T) {
+	e := newTest(t, Config{Prior: 1}, 10)
+	e.RecordTRem(10, 10) // 1.0
+	e.RecordTNew(15, 10) // 0.5
+	if got := e.Accuracy(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("combined accuracy %v, want 0.75", got)
+	}
+}
+
+func TestTNewUsesScale(t *testing.T) {
+	e := newTest(t, Config{Prior: 1}, 11)
+	e.ObserveCompletion(2)
+	a, b := e.TNew(1), e.TNew(10)
+	if math.Abs(b-10*a) > 1e-9 {
+		t.Fatalf("TNew not linear in scale: %v vs %v", a, b)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() []float64 {
+		e, _ := New(Config{Prior: 1, TRemNoise: 0.3}, dist.NewRNG(42))
+		out := make([]float64, 50)
+		for i := range out {
+			out[i] = e.TRem(5)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("estimator nondeterministic at %d", i)
+		}
+	}
+}

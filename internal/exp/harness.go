@@ -1,0 +1,245 @@
+// Package exp contains one experiment runner per table and figure in the
+// paper's evaluation (§2.3, §6, Appendix A). Each runner generates the
+// appropriate synthetic workload, simulates it under the relevant policies
+// with paired seeds, and reduces the results to the same rows or series the
+// paper plots. The rendering is plain text tables; cmd/grass-bench and the
+// root bench_test.go expose every runner.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/approx-analytics/grass/internal/core"
+	"github.com/approx-analytics/grass/internal/metrics"
+	"github.com/approx-analytics/grass/internal/oracle"
+	"github.com/approx-analytics/grass/internal/sched"
+	"github.com/approx-analytics/grass/internal/spec"
+	"github.com/approx-analytics/grass/internal/task"
+	"github.com/approx-analytics/grass/internal/trace"
+)
+
+// Config sizes the experiments.
+type Config struct {
+	// Jobs is the trace length per run.
+	Jobs int
+	// Seeds are the paired-run seeds; reported numbers are medians across
+	// seeds (§6.1 repeats each experiment and picks the median).
+	Seeds []int64
+	// Machines and SlotsPerMachine size the cluster (paper: 200 nodes).
+	Machines, SlotsPerMachine int
+	// DeadlineLoad is the offered load for deadline-bound traces. Deadline
+	// jobs shed incomplete work at their deadline, so overload is stable
+	// and reproduces the busy-cluster regime the paper studies.
+	DeadlineLoad float64
+	// ErrorLoad is the offered load for error-bound/exact traces, which
+	// must complete their work and therefore need spare capacity.
+	ErrorLoad float64
+}
+
+// Default returns the full-size configuration used for EXPERIMENTS.md.
+func Default() Config {
+	return Config{
+		Jobs:            250,
+		Seeds:           []int64{1, 2, 3},
+		Machines:        200,
+		SlotsPerMachine: 2,
+		DeadlineLoad:    2.0,
+		ErrorLoad:       0.75,
+	}
+}
+
+// Quick returns a reduced configuration for benchmarks and CI.
+func Quick() Config {
+	c := Default()
+	c.Jobs = 150
+	c.Seeds = []int64{1, 2}
+	return c
+}
+
+// NewFactory resolves a policy name to its factory. The boolean result
+// requests oracle mode (ground-truth task views) from the simulator.
+// Names: grass, grass-strawman, grass-best1, grass-best2util,
+// grass-best2acc, gs, ras, late, mantri, nospec, oracle.
+func NewFactory(name string, seed int64) (spec.Factory, bool, error) {
+	mk := func(cfg core.Config) (spec.Factory, bool, error) {
+		cfg.Seed = seed
+		f, err := core.New(cfg)
+		return f, false, err
+	}
+	switch strings.ToLower(name) {
+	case "grass":
+		return mk(core.DefaultConfig())
+	case "grass-strawman":
+		c := core.DefaultConfig()
+		c.Strawman = true
+		return mk(c)
+	case "grass-best1":
+		c := core.DefaultConfig()
+		c.Factors = core.FactorSet{}
+		return mk(c)
+	case "grass-best2util":
+		c := core.DefaultConfig()
+		c.Factors = core.FactorSet{Utilization: true}
+		return mk(c)
+	case "grass-best2acc":
+		c := core.DefaultConfig()
+		c.Factors = core.FactorSet{Accuracy: true}
+		return mk(c)
+	case "gs":
+		return spec.Stateless(spec.GS{}), false, nil
+	case "ras":
+		return spec.Stateless(spec.RAS{}), false, nil
+	case "late":
+		return spec.Stateless(spec.NewLATE()), false, nil
+	case "mantri":
+		return spec.Stateless(spec.NewMantri()), false, nil
+	case "nospec":
+		return spec.Stateless(spec.NoSpec{}), false, nil
+	case "oracle":
+		return oracle.New(), true, nil
+	default:
+		return nil, false, fmt.Errorf("exp: unknown policy %q", name)
+	}
+}
+
+// SchedConfig builds the simulator configuration for a framework regime.
+// Spark's much shorter tasks make them "more sensitive to estimation
+// errors" (§6.3.2), modelled as extra estimator noise.
+func (c Config) SchedConfig(fw trace.Framework, seed int64, oracleMode bool) sched.Config {
+	s := sched.DefaultConfig()
+	s.Cluster.Machines = c.Machines
+	s.Cluster.SlotsPerMachine = c.SlotsPerMachine
+	s.Seed = seed
+	s.Oracle = oracleMode
+	if fw == trace.Spark {
+		s.Estimator.TRemNoise = 0.5
+		s.Estimator.TNewNoise = 0.25
+	}
+	return s
+}
+
+// TraceConfig builds the workload configuration for one scenario.
+func (c Config) TraceConfig(w trace.Workload, fw trace.Framework, b trace.BoundMode, seed int64) trace.Config {
+	tc := trace.DefaultConfig(w, fw, b)
+	tc.Jobs = c.Jobs
+	tc.Seed = seed
+	tc.Slots = c.Machines * c.SlotsPerMachine
+	if b == trace.DeadlineBound {
+		tc.Load = c.DeadlineLoad
+	} else {
+		tc.Load = c.ErrorLoad
+	}
+	return tc
+}
+
+// Run simulates one (workload, framework, bound, policy, seed) cell and
+// returns its results.
+func (c Config) Run(w trace.Workload, fw trace.Framework, b trace.BoundMode, policy string, seed int64, dagLen int) ([]sched.JobResult, error) {
+	tc := c.TraceConfig(w, fw, b, seed)
+	if dagLen > 1 {
+		tc.DAGLength = dagLen
+	}
+	jobs, err := trace.Generate(tc)
+	if err != nil {
+		return nil, err
+	}
+	factory, oracleMode, err := NewFactory(policy, seed)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := sched.New(c.SchedConfig(fw, seed, oracleMode), factory)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := sim.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	return stats.Results, nil
+}
+
+// Improvement runs base and treat policies over the config's seeds on
+// identical traces and returns the median improvement percentage computed by
+// metric on each paired run, optionally restricted by filter.
+func (c Config) Improvement(w trace.Workload, fw trace.Framework, b trace.BoundMode,
+	base, treat string, dagLen int,
+	filter func(sched.JobResult) bool,
+	metric func(base, treat []sched.JobResult) float64) (float64, error) {
+
+	vals := make([]float64, 0, len(c.Seeds))
+	for _, seed := range c.Seeds {
+		br, err := c.Run(w, fw, b, base, seed, dagLen)
+		if err != nil {
+			return 0, err
+		}
+		tr, err := c.Run(w, fw, b, treat, seed, dagLen)
+		if err != nil {
+			return 0, err
+		}
+		if filter != nil {
+			br = filterResults(br, filter)
+			tr = filterResults(tr, filter)
+		}
+		vals = append(vals, metric(br, tr))
+	}
+	return metrics.MedianOfRuns(vals), nil
+}
+
+func filterResults(rs []sched.JobResult, keep func(sched.JobResult) bool) []sched.JobResult {
+	out := rs[:0:0]
+	for _, r := range rs {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// binFilter keeps one job-size bin.
+func binFilter(b task.SizeBin) func(sched.JobResult) bool {
+	return func(r sched.JobResult) bool { return r.Bin == b }
+}
+
+// Table is a rendered experiment result: the rows/series a paper figure
+// plots.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    []Row
+	Notes   []string
+}
+
+// Row is one labelled line of a Table.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(label string, values ...float64) {
+	t.Rows = append(t.Rows, Row{Label: label, Values: values})
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s\n", t.Title)
+	width := 14
+	fmt.Fprintf(w, "%-20s", "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(w, "%*s", width, c)
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-20s", r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(w, "%*.2f", width, v)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,157 @@
+// Package metrics aggregates simulation results the way the paper reports
+// them: average accuracy for deadline-bound jobs, average (input) duration
+// for error-bound jobs, relative improvement percentages, and binning by
+// job size, deadline factor, error bound and DAG length.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/approx-analytics/grass/internal/sched"
+	"github.com/approx-analytics/grass/internal/task"
+)
+
+// MeanAccuracy returns the average accuracy over results (0 for empty).
+func MeanAccuracy(rs []sched.JobResult) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, r := range rs {
+		s += r.Accuracy
+	}
+	return s / float64(len(rs))
+}
+
+// MeanInputDuration returns the average input-phase duration (the quantity
+// error-bound jobs minimize).
+func MeanInputDuration(rs []sched.JobResult) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, r := range rs {
+		s += r.InputDuration
+	}
+	return s / float64(len(rs))
+}
+
+// AccuracyImprovementPct is the paper's deadline-bound metric: the relative
+// gain in average accuracy of treat over base, in percent.
+func AccuracyImprovementPct(base, treat []sched.JobResult) float64 {
+	b := MeanAccuracy(base)
+	if b == 0 {
+		return 0
+	}
+	return (MeanAccuracy(treat) - b) / b * 100
+}
+
+// SpeedupPct is the paper's error-bound metric: the relative reduction in
+// average job duration of treat versus base, in percent.
+func SpeedupPct(base, treat []sched.JobResult) float64 {
+	b := MeanInputDuration(base)
+	if b == 0 {
+		return 0
+	}
+	return (b - MeanInputDuration(treat)) / b * 100
+}
+
+// FilterBin keeps results in one job-size bin.
+func FilterBin(rs []sched.JobResult, b task.SizeBin) []sched.JobResult {
+	var out []sched.JobResult
+	for _, r := range rs {
+		if r.Bin == b {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ByBin computes a metric per size bin over paired base/treat result sets.
+func ByBin(base, treat []sched.JobResult, metric func(b, t []sched.JobResult) float64) map[task.SizeBin]float64 {
+	out := make(map[task.SizeBin]float64, len(task.AllBins))
+	for _, b := range task.AllBins {
+		out[b] = metric(FilterBin(base, b), FilterBin(treat, b))
+	}
+	return out
+}
+
+// DeadlineBin is one of Figure 6a's deadline-factor buckets (percent over
+// the ideal duration).
+type DeadlineBin struct {
+	Lo, Hi float64 // inclusive bounds in percent
+}
+
+// DeadlineBins are the paper's buckets: 2–5%, 6–10%, 11–15%, 16–20%.
+var DeadlineBins = []DeadlineBin{{2, 5}, {6, 10}, {11, 15}, {16, 20}}
+
+// Label renders the bin as the paper prints it.
+func (d DeadlineBin) Label() string { return fmt.Sprintf("%g-%g", d.Lo, d.Hi) }
+
+// FilterDeadlineBin keeps results whose deadline factor falls in the bin.
+func FilterDeadlineBin(rs []sched.JobResult, b DeadlineBin) []sched.JobResult {
+	var out []sched.JobResult
+	for _, r := range rs {
+		pct := r.DeadlineFactor * 100
+		if pct >= b.Lo-0.5 && pct < b.Hi+0.5 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ErrorBin is one of Figure 6b's error-bound buckets, in percent.
+type ErrorBin struct {
+	Lo, Hi float64
+}
+
+// ErrorBins are the paper's buckets: 5–10%, 11–15%, 16–20%, 21–25%, 26–30%.
+var ErrorBins = []ErrorBin{{5, 10}, {11, 15}, {16, 20}, {21, 25}, {26, 30}}
+
+// Label renders the bin as the paper prints it.
+func (e ErrorBin) Label() string { return fmt.Sprintf("%g-%g", e.Lo, e.Hi) }
+
+// FilterErrorBin keeps results whose error bound falls in the bin.
+func FilterErrorBin(rs []sched.JobResult, b ErrorBin) []sched.JobResult {
+	var out []sched.JobResult
+	for _, r := range rs {
+		pct := r.Epsilon * 100
+		if pct >= b.Lo-0.5 && pct < b.Hi+0.5 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PairByJob aligns two result sets by JobID, dropping jobs missing from
+// either (paired comparisons must compare the same jobs).
+func PairByJob(a, b []sched.JobResult) (pa, pb []sched.JobResult) {
+	idx := make(map[int]sched.JobResult, len(b))
+	for _, r := range b {
+		idx[r.JobID] = r
+	}
+	for _, r := range a {
+		if m, ok := idx[r.JobID]; ok {
+			pa = append(pa, r)
+			pb = append(pb, m)
+		}
+	}
+	return pa, pb
+}
+
+// MedianOfRuns reduces repeated experiment measurements to their median,
+// matching §6.1 ("each experiment is repeated five times and we pick the
+// median").
+func MedianOfRuns(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"github.com/approx-analytics/grass/internal/sched"
+	"github.com/approx-analytics/grass/internal/task"
+)
+
+func res(id int, bin task.SizeBin, acc, dur float64) sched.JobResult {
+	return sched.JobResult{JobID: id, Bin: bin, Accuracy: acc, InputDuration: dur}
+}
+
+func TestMeans(t *testing.T) {
+	rs := []sched.JobResult{
+		res(0, task.Small, 0.5, 10),
+		res(1, task.Small, 0.7, 30),
+	}
+	if got := MeanAccuracy(rs); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("mean accuracy %v", got)
+	}
+	if got := MeanInputDuration(rs); got != 20 {
+		t.Fatalf("mean duration %v", got)
+	}
+	if MeanAccuracy(nil) != 0 || MeanInputDuration(nil) != 0 {
+		t.Fatal("empty means should be 0")
+	}
+}
+
+func TestImprovements(t *testing.T) {
+	base := []sched.JobResult{res(0, task.Small, 0.5, 100)}
+	treat := []sched.JobResult{res(0, task.Small, 0.75, 60)}
+	if got := AccuracyImprovementPct(base, treat); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("accuracy improvement %v%%, want 50", got)
+	}
+	if got := SpeedupPct(base, treat); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("speedup %v%%, want 40", got)
+	}
+	if AccuracyImprovementPct(nil, treat) != 0 || SpeedupPct(nil, treat) != 0 {
+		t.Fatal("empty base should give 0")
+	}
+}
+
+func TestFilterAndByBin(t *testing.T) {
+	base := []sched.JobResult{
+		res(0, task.Small, 0.5, 10),
+		res(1, task.Large, 0.4, 100),
+	}
+	treat := []sched.JobResult{
+		res(0, task.Small, 0.6, 10),
+		res(1, task.Large, 0.6, 100),
+	}
+	if got := len(FilterBin(base, task.Small)); got != 1 {
+		t.Fatalf("filtered %d", got)
+	}
+	m := ByBin(base, treat, AccuracyImprovementPct)
+	if math.Abs(m[task.Small]-20) > 1e-9 {
+		t.Fatalf("small bin %v, want 20", m[task.Small])
+	}
+	if math.Abs(m[task.Large]-50) > 1e-9 {
+		t.Fatalf("large bin %v, want 50", m[task.Large])
+	}
+	if m[task.Medium] != 0 {
+		t.Fatalf("empty medium bin %v, want 0", m[task.Medium])
+	}
+}
+
+func TestDeadlineBins(t *testing.T) {
+	rs := []sched.JobResult{
+		{JobID: 0, DeadlineFactor: 0.03},
+		{JobID: 1, DeadlineFactor: 0.12},
+		{JobID: 2, DeadlineFactor: 0.19},
+	}
+	if got := len(FilterDeadlineBin(rs, DeadlineBins[0])); got != 1 {
+		t.Fatalf("2-5%% bin has %d", got)
+	}
+	if got := len(FilterDeadlineBin(rs, DeadlineBins[2])); got != 1 {
+		t.Fatalf("11-15%% bin has %d", got)
+	}
+	if got := len(FilterDeadlineBin(rs, DeadlineBins[3])); got != 1 {
+		t.Fatalf("16-20%% bin has %d", got)
+	}
+	if DeadlineBins[0].Label() != "2-5" {
+		t.Fatalf("label %q", DeadlineBins[0].Label())
+	}
+}
+
+func TestErrorBins(t *testing.T) {
+	rs := []sched.JobResult{
+		{JobID: 0, Epsilon: 0.07},
+		{JobID: 1, Epsilon: 0.22},
+		{JobID: 2, Epsilon: 0.29},
+	}
+	if got := len(FilterErrorBin(rs, ErrorBins[0])); got != 1 {
+		t.Fatalf("5-10%% bin has %d", got)
+	}
+	if got := len(FilterErrorBin(rs, ErrorBins[3])); got != 1 {
+		t.Fatalf("21-25%% bin has %d", got)
+	}
+	if got := len(FilterErrorBin(rs, ErrorBins[4])); got != 1 {
+		t.Fatalf("26-30%% bin has %d", got)
+	}
+	if ErrorBins[4].Label() != "26-30" {
+		t.Fatalf("label %q", ErrorBins[4].Label())
+	}
+}
+
+func TestPairByJob(t *testing.T) {
+	a := []sched.JobResult{res(0, task.Small, 1, 1), res(1, task.Small, 1, 1), res(2, task.Small, 1, 1)}
+	b := []sched.JobResult{res(1, task.Small, 2, 2), res(2, task.Small, 2, 2), res(3, task.Small, 2, 2)}
+	pa, pb := PairByJob(a, b)
+	if len(pa) != 2 || len(pb) != 2 {
+		t.Fatalf("paired %d/%d, want 2/2", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i].JobID != pb[i].JobID {
+			t.Fatal("misaligned pairing")
+		}
+	}
+}
+
+func TestMedianOfRuns(t *testing.T) {
+	if got := MedianOfRuns([]float64{3, 1, 2, 5, 4}); got != 3 {
+		t.Fatalf("median %v", got)
+	}
+	if got := MedianOfRuns([]float64{1, 2}); got != 1.5 {
+		t.Fatalf("median %v", got)
+	}
+	if MedianOfRuns(nil) != 0 {
+		t.Fatal("empty median should be 0")
+	}
+}

@@ -1,0 +1,257 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"github.com/approx-analytics/grass/internal/dist"
+)
+
+var beta = 1.259
+
+func TestOmegaThresholds(t *testing.T) {
+	p := dist.Pareto{Xm: 1, Beta: beta}
+	if got := GSOmega(p); math.Abs(got-beta) > 1e-12 {
+		t.Fatalf("GS omega %v, want %v", got, beta)
+	}
+	if got := RASOmega(p); math.Abs(got-2*beta) > 1e-12 {
+		t.Fatalf("RAS omega %v, want %v", got, 2*beta)
+	}
+	// RAS always waits longer: it demands resource savings, not just time.
+	if RASOmega(p) <= GSOmega(p) {
+		t.Fatal("RAS must wait longer than GS")
+	}
+	// Check the defining identity E[τ−ω|τ>ω] = ω/(β−1) at ω_GS equals E[τ].
+	om := GSOmega(p)
+	if got, want := p.MeanResidual(om), p.Mean(); math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("residual at ω_GS = %v, want E[τ] = %v", got, want)
+	}
+}
+
+func TestSigma(t *testing.T) {
+	if got := Sigma(1.0); got != 2 {
+		t.Fatalf("sigma(1.0) = %v", got)
+	}
+	if got := Sigma(1.259); math.Abs(got-2/1.259) > 1e-12 {
+		t.Fatalf("sigma(1.259) = %v", got)
+	}
+	// Guideline 1: no early-wave speculation for finite-variance tails.
+	if got := Sigma(2.0); got != 1 {
+		t.Fatalf("sigma(2.0) = %v, want 1", got)
+	}
+	if got := Sigma(3.0); got != 1 {
+		t.Fatalf("sigma(3.0) = %v, want 1", got)
+	}
+}
+
+func TestTheorem1K(t *testing.T) {
+	// Early waves: plenty of tasks → k = σ.
+	if got := Theorem1K(1.0, 100, 10, beta); math.Abs(got-Sigma(beta)) > 1e-12 {
+		t.Fatalf("early k = %v, want σ", got)
+	}
+	// Final wave, several tasks left: k = S / remaining tasks.
+	if got := Theorem1K(0.05, 100, 10, beta); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("k = %v, want S/remTasks = 10/5 = 2", got)
+	}
+	// Less than one task left: every slot replicates it, k = S.
+	if got := Theorem1K(0.005, 100, 10, beta); got != 10 {
+		t.Fatalf("k = %v, want S", got)
+	}
+}
+
+func TestTruncMean(t *testing.T) {
+	p := dist.Pareto{Xm: 1, Beta: 2}
+	if truncMean(p, 0.5) != 0 {
+		t.Fatal("truncMean below xm should be 0")
+	}
+	// As ω→∞ the truncated mass approaches the full mean.
+	full := p.Mean()
+	if got := truncMean(p, 1e9); math.Abs(got-full)/full > 1e-3 {
+		t.Fatalf("truncMean(∞) = %v, want %v", got, full)
+	}
+	// Monte Carlo check at ω = 3.
+	r := dist.NewRNG(1)
+	n := 400000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		if v := p.Sample(r); v < 3 {
+			sum += v
+		}
+	}
+	mc := sum / float64(n)
+	if got := truncMean(p, 3); math.Abs(got-mc)/mc > 0.02 {
+		t.Fatalf("truncMean(3) = %v, Monte Carlo %v", got, mc)
+	}
+}
+
+func TestMinResidualMeanMonteCarlo(t *testing.T) {
+	p := dist.Pareto{Xm: 1, Beta: 1.5}
+	omega := 2.0
+	got := minResidualMean(p, omega)
+	// Monte Carlo: draw τ1 conditioned > ω, τ2 fresh; average min(τ1−ω, τ2).
+	r := dist.NewRNG(2)
+	n := 400000
+	sum, cnt := 0.0, 0
+	for cnt < n {
+		t1 := p.Sample(r)
+		if t1 <= omega {
+			continue
+		}
+		t2 := p.Sample(r)
+		sum += math.Min(t1-omega, t2)
+		cnt++
+	}
+	mc := sum / float64(n)
+	if math.Abs(got-mc)/mc > 0.03 {
+		t.Fatalf("minResidualMean = %v, Monte Carlo %v", got, mc)
+	}
+}
+
+func TestMinResidualOmegaZero(t *testing.T) {
+	// ω = 0: both copies start together → E[min(τ1, τ2)].
+	p := dist.Pareto{Xm: 1, Beta: 2}
+	got := minResidualMean(p, 0)
+	want := p.MinMean(2)
+	if math.Abs(got-want)/want > 1e-3 {
+		t.Fatalf("minResidualMean(0) = %v, want E[min2] = %v", got, want)
+	}
+}
+
+func TestMuProactiveCapacity(t *testing.T) {
+	p := dist.Pareto{Xm: 1, Beta: beta}
+	// With abundant tasks the busy-slot factor is capped at S.
+	muFull := MuProactive(p, 1.0, 1000, 10, 1)
+	if muFull > 10 {
+		t.Fatalf("µ = %v exceeds cluster rate", muFull)
+	}
+	// k=1 (no replication) at full backlog: efficiency exactly 1 → µ = S.
+	if math.Abs(muFull-10) > 1e-9 {
+		t.Fatalf("µ(k=1) = %v, want 10", muFull)
+	}
+	// For β<2, duplicating improves efficiency: µ(k=2) > µ(k=1) under full
+	// backlog (the mathematical heart of Guideline 1).
+	mu2 := MuProactive(p, 1.0, 1000, 10, 2)
+	if mu2 <= muFull {
+		t.Fatalf("duplication did not pay: µ(k=2)=%v <= µ(k=1)=%v", mu2, muFull)
+	}
+	// For β>2 it must not pay.
+	light := dist.Pareto{Xm: 1, Beta: 3}
+	if MuProactive(light, 1.0, 1000, 10, 2) >= MuProactive(light, 1.0, 1000, 10, 1) {
+		t.Fatal("duplication paid off for a light tail")
+	}
+}
+
+func TestReactiveValidate(t *testing.T) {
+	bad := []Reactive{
+		{Tau: dist.Pareto{Xm: 0, Beta: 2}, T: 10, S: 5},
+		{Tau: dist.Pareto{Xm: 1, Beta: 1}, T: 10, S: 5}, // infinite mean
+		{Tau: dist.Pareto{Xm: 1, Beta: 2}, T: 0, S: 5},
+		{Tau: dist.Pareto{Xm: 1, Beta: 2}, T: 5, S: 10}, // < 1 wave
+	}
+	for i, r := range bad {
+		if r.Validate() == nil {
+			t.Errorf("case %d: invalid model accepted", i)
+		}
+	}
+}
+
+func TestResponseTimeFinitePositive(t *testing.T) {
+	r := Reactive{Tau: dist.Pareto{Xm: 1, Beta: beta}, T: 30, S: 10}
+	for _, om := range []float64{0, 0.5, GSOmega(r.Tau), RASOmega(r.Tau), 5} {
+		rt := r.ResponseTime(om)
+		if math.IsInf(rt, 0) || math.IsNaN(rt) || rt <= 0 {
+			t.Fatalf("response time at ω=%v is %v", om, rt)
+		}
+	}
+}
+
+func TestResponseTimeMoreWavesTakesLonger(t *testing.T) {
+	mk := func(w float64) float64 {
+		r := Reactive{Tau: dist.Pareto{Xm: 1, Beta: beta}, T: w * 10, S: 10}
+		return r.ResponseTime(GSOmega(r.Tau))
+	}
+	if !(mk(1) < mk(2) && mk(2) < mk(4)) {
+		t.Fatalf("response times not increasing in waves: %v %v %v", mk(1), mk(2), mk(4))
+	}
+}
+
+// TestGuideline3 is the paper's Figure 4 claim: GS near-optimal for jobs
+// under two waves, RAS near-optimal for two or more waves, and each clearly
+// better than the other in its own regime.
+func TestGuideline3(t *testing.T) {
+	p := dist.Pareto{Xm: 1, Beta: beta}
+	ratioAt := func(waves, omega float64) float64 {
+		pts, err := Figure4Series(beta, waves, 10, 5, 26)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := math.Inf(1)
+		var at float64
+		for _, pt := range pts {
+			if d := math.Abs(pt.Omega - omega); d < best {
+				best, at = d, pt.Ratio
+			}
+		}
+		return at
+	}
+	gs, ras := GSOmega(p), RASOmega(p)
+	// Single-wave jobs: GS within a few percent of optimal.
+	if r := ratioAt(1, gs); r > 1.06 {
+		t.Errorf("GS ratio at 1 wave = %v, want near-optimal", r)
+	}
+	// Many-wave jobs: RAS within a few percent of optimal.
+	if r := ratioAt(5, ras); r > 1.06 {
+		t.Errorf("RAS ratio at 5 waves = %v, want near-optimal", r)
+	}
+	// And the regimes flip: at 5 waves RAS beats GS; at 1 wave GS ≤ RAS.
+	if ratioAt(5, ras) >= ratioAt(5, gs) {
+		t.Errorf("at 5 waves RAS (%v) should beat GS (%v)", ratioAt(5, ras), ratioAt(5, gs))
+	}
+	if ratioAt(1, gs) > ratioAt(1, ras) {
+		t.Errorf("at 1 wave GS (%v) should not lose to RAS (%v)", ratioAt(1, gs), ratioAt(1, ras))
+	}
+}
+
+func TestFigure4SeriesNormalized(t *testing.T) {
+	pts, err := Figure4Series(beta, 3, 10, 5, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 21 {
+		t.Fatalf("%d points", len(pts))
+	}
+	min := math.Inf(1)
+	for _, pt := range pts {
+		if pt.Ratio < min {
+			min = pt.Ratio
+		}
+		if pt.Ratio < 1-1e-9 {
+			t.Fatalf("ratio %v below 1", pt.Ratio)
+		}
+	}
+	if math.Abs(min-1) > 1e-9 {
+		t.Fatalf("minimum ratio %v, want exactly 1", min)
+	}
+	if pts[0].Omega != 0 || pts[20].Omega != 5 {
+		t.Fatal("omega grid endpoints wrong")
+	}
+}
+
+func TestFigure4SeriesRejectsSubWave(t *testing.T) {
+	if _, err := Figure4Series(beta, 0.5, 10, 5, 5); err == nil {
+		t.Fatal("waves < 1 accepted")
+	}
+}
+
+func TestSimpson(t *testing.T) {
+	// ∫0^1 x² dx = 1/3 exactly for Simpson.
+	got := simpson(func(x float64) float64 { return x * x }, 0, 1, 10)
+	if math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Fatalf("simpson x² = %v", got)
+	}
+	// Odd n is rounded up.
+	got = simpson(func(x float64) float64 { return x }, 0, 2, 3)
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("simpson x over [0,2] = %v", got)
+	}
+}

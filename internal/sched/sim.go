@@ -1,0 +1,783 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/approx-analytics/grass/internal/cluster"
+	"github.com/approx-analytics/grass/internal/dist"
+	"github.com/approx-analytics/grass/internal/estimate"
+	"github.com/approx-analytics/grass/internal/simevent"
+	"github.com/approx-analytics/grass/internal/spec"
+	"github.com/approx-analytics/grass/internal/task"
+)
+
+// pend is an estimate handed to a policy, scored against ground truth when
+// the copy leaves the system (§5.1's accuracy bookkeeping).
+type pend struct {
+	est float64
+	at  float64
+}
+
+// copyRun is one executing copy of a task.
+type copyRun struct {
+	machineID   int
+	start       float64
+	duration    float64 // ground-truth total runtime
+	speculative bool
+	ev          *simevent.Event
+	estTNew     float64 // t_new estimate at launch, 0 when not recorded
+	tremBias    float64 // persistent estimation error of this copy's t_rem
+	pendTRem    []pend
+}
+
+func (c *copyRun) remaining(now float64) float64 {
+	r := c.start + c.duration - now
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// taskRun is the runtime state of one task.
+type taskRun struct {
+	index      int
+	work       float64
+	copies     []*copyRun
+	completed  bool
+	span       float64 // first launch to completion, for straggler stats
+	firstStart float64
+	nextFactor float64 // predrawn duration factor for the next copy (oracle lookahead)
+	tnewBias   float64 // persistent estimation error of this task's t_new
+}
+
+// phaseRun is one DAG phase in flight.
+type phaseRun struct {
+	tasks     []*taskRun
+	completed int
+	target    int // completions needed to satisfy this phase
+}
+
+func (p *phaseRun) satisfied() bool { return p.completed >= p.target }
+
+// jobState is the runtime state of one job.
+type jobState struct {
+	job      *task.Job
+	policy   spec.Policy
+	phaseIdx int
+	phase    *phaseRun
+	running  int
+	specRun  int
+	done     bool
+	declined bool // within the current dispatch round
+
+	inputDeadlineAbs float64 // deadline jobs: when the input phase freezes
+	deadlineEv       *simevent.Event
+	inputEnd         float64
+	res              JobResult
+}
+
+// Simulator executes one trace under one speculation policy family.
+type Simulator struct {
+	cfg     Config
+	factory spec.Factory
+
+	eng *simevent.Engine
+	cl  *cluster.Cluster
+	est *estimate.Estimator
+
+	rngPlace *dist.RNG
+	rngDur   *dist.RNG
+	rngEst   *dist.RNG
+
+	inputDist dist.Sampler
+	interDist dist.Sampler
+
+	active  []*jobState
+	results []JobResult
+
+	// interObs records intermediate-phase spans by DAG length, the basis of
+	// §5.2's deadline decomposition for multi-phase jobs.
+	interObs map[int][]float64
+
+	utilIntegral float64
+	lastUtilT    float64
+
+	viewBuf []spec.TaskView
+}
+
+// New builds a simulator for cfg driving the given policy family.
+func New(cfg Config, factory spec.Factory) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("sched: nil policy factory")
+	}
+	root := dist.NewRNG(cfg.Seed)
+	clRNG := root.Split()
+	s := &Simulator{
+		cfg:      cfg,
+		factory:  factory,
+		eng:      simevent.New(),
+		rngPlace: root.Split(),
+		rngDur:   root.Split(),
+		rngEst:   root.Split(),
+		interObs: make(map[int][]float64),
+	}
+	var err error
+	if s.cl, err = cluster.New(cfg.Cluster, clRNG); err != nil {
+		return nil, err
+	}
+	if s.est, err = estimate.New(cfg.Estimator, s.rngEst); err != nil {
+		return nil, err
+	}
+	if s.inputDist, err = newFactorDist(cfg.DurationBeta, cfg.DurationCap, cfg.TailFrac, cfg.TailStart); err != nil {
+		return nil, err
+	}
+	// Intermediate tasks straggle less (§5.2): halve the tail probability
+	// and lighten its shape.
+	interTail := cfg.TailFrac / 2
+	if interTail >= 1 {
+		interTail = 1
+	}
+	if s.interDist, err = newFactorDist(cfg.IntermediateBeta, cfg.DurationCap, interTail, cfg.TailStart); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Run simulates the trace to completion and returns aggregate statistics.
+// jobs must be sorted by arrival time.
+func (s *Simulator) Run(jobs []*task.Job) (*RunStats, error) {
+	prev := math.Inf(-1)
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+		if j.Arrival < prev {
+			return nil, fmt.Errorf("sched: jobs not sorted by arrival (job %d at %v after %v)", j.ID, j.Arrival, prev)
+		}
+		prev = j.Arrival
+		j := j
+		s.eng.At(j.Arrival, func(*simevent.Engine) { s.admit(j) })
+	}
+	limit := s.cfg.MaxEvents
+	if limit == 0 {
+		limit = 50_000_000
+	}
+	if _, err := s.eng.Run(limit); err != nil {
+		return nil, err
+	}
+	if len(s.active) > 0 {
+		return nil, fmt.Errorf("sched: event queue drained with %d jobs unfinished (policy %s declined forever?)",
+			len(s.active), s.factory.Name())
+	}
+	sort.Slice(s.results, func(i, j int) bool { return s.results[i].JobID < s.results[j].JobID })
+	makespan := s.eng.Now()
+	s.noteUtil()
+	stats := &RunStats{
+		Results:           s.results,
+		Makespan:          makespan,
+		Events:            s.eng.Fired(),
+		EstimatorAccuracy: s.est.Accuracy(),
+	}
+	if makespan > 0 {
+		stats.MeanUtilization = s.utilIntegral / makespan
+	}
+	return stats, nil
+}
+
+// noteUtil integrates utilization over time; call before occupancy changes.
+func (s *Simulator) noteUtil() {
+	now := s.eng.Now()
+	s.utilIntegral += s.cl.Utilization() * (now - s.lastUtilT)
+	s.lastUtilT = now
+}
+
+// admit creates the job's runtime state, schedules its deadline, and tries
+// to give it slots.
+func (s *Simulator) admit(j *task.Job) {
+	js := &jobState{
+		job:    j,
+		policy: s.factory.NewPolicy(j.ID, j.NumTasks()),
+		res: JobResult{
+			JobID:          j.ID,
+			NumTasks:       j.NumTasks(),
+			Bin:            j.Bin(),
+			Kind:           j.Bound.Kind,
+			Deadline:       j.Bound.Deadline,
+			Epsilon:        j.Bound.Epsilon,
+			DeadlineFactor: j.DeadlineFactor,
+			DAGLength:      j.DAGLength(),
+		},
+	}
+	js.phase = s.newInputPhase(j)
+	s.active = append(s.active, js)
+	if j.Bound.Kind == task.DeadlineBound {
+		inputBudget := j.Bound.Deadline - s.intermediateEstimate(j)
+		if min := 0.05 * j.Bound.Deadline; inputBudget < min {
+			inputBudget = min
+		}
+		js.inputDeadlineAbs = j.Arrival + inputBudget
+		js.deadlineEv = s.eng.At(js.inputDeadlineAbs, func(*simevent.Engine) { s.onInputDeadline(js) })
+	}
+	s.dispatch()
+}
+
+func (s *Simulator) newInputPhase(j *task.Job) *phaseRun {
+	tasks := make([]*taskRun, len(j.InputWork))
+	for i, w := range j.InputWork {
+		tasks[i] = &taskRun{index: i, work: w}
+	}
+	return &phaseRun{tasks: tasks, target: j.Bound.TargetTasks(len(tasks))}
+}
+
+// intermediateEstimate predicts the time the job's intermediate phases will
+// need, to subtract from the deadline (§5.2): the median of observed spans
+// of completed jobs with the same DAG length, falling back to an analytic
+// estimate before enough samples exist.
+func (s *Simulator) intermediateEstimate(j *task.Job) float64 {
+	if len(j.Phases) == 0 {
+		return 0
+	}
+	if obs := s.interObs[j.DAGLength()]; len(obs) >= 3 {
+		return dist.Median(obs)
+	}
+	share := s.fairShare(1)
+	meanFactor := s.interDist.Mean()
+	est := 0.0
+	for _, p := range j.Phases {
+		waves := math.Ceil(float64(p.NumTasks) / float64(share))
+		est += waves * p.WorkScale * meanFactor
+	}
+	return est
+}
+
+// fairShare returns the slot share of one job when extra more jobs join the
+// current active set.
+func (s *Simulator) fairShare(extra int) int {
+	n := extra
+	for _, js := range s.active {
+		if !js.done {
+			n++
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	share := s.cl.TotalSlots() / n
+	if share < 1 {
+		share = 1
+	}
+	return share
+}
+
+// dispatch fills free slots max-min fairly: repeatedly offer a slot to the
+// active job holding the fewest running copies; a job that declines (its
+// policy finds nothing worth launching) is skipped for the rest of the
+// round. This is the fair scheduler the paper assumes ("within the slots
+// allocated to the job, typically based on fair allocations", §8).
+func (s *Simulator) dispatch() {
+	for _, js := range s.active {
+		js.declined = false
+	}
+	shares := s.waterfillShares()
+	for s.cl.FreeSlots() > 0 {
+		// Most underserved job first (largest share deficit); jobs beyond
+		// their share may still use leftover slots (work conservation).
+		var best *jobState
+		bestDef := 0
+		for _, js := range s.active {
+			if js.done || js.declined {
+				continue
+			}
+			def := shares[js] - js.running
+			if best == nil || def > bestDef ||
+				(def == bestDef && js.running < best.running) ||
+				(def == bestDef && js.running == best.running && js.job.ID < best.job.ID) {
+				best, bestDef = js, def
+			}
+		}
+		if best == nil {
+			return
+		}
+		if !s.tryLaunch(best) {
+			best.declined = true
+		}
+	}
+	s.preemptForFairness(shares)
+}
+
+// waterfillShares computes max-min fair slot shares over job demands: a job
+// demanding less than the equal split keeps its demand, and the slack is
+// redistributed among the bigger jobs (the water-filling allocation fair
+// schedulers implement). Demand is approximated by the job's incomplete
+// task count in its current phase.
+func (s *Simulator) waterfillShares() map[*jobState]int {
+	type dj struct {
+		js *jobState
+		d  int
+	}
+	var jobs []dj
+	for _, js := range s.active {
+		if js.done || js.phase == nil {
+			continue
+		}
+		d := len(js.phase.tasks) - js.phase.completed
+		if d < 0 {
+			d = 0
+		}
+		jobs = append(jobs, dj{js, d})
+	}
+	shares := make(map[*jobState]int, len(jobs))
+	if len(jobs) == 0 {
+		return shares
+	}
+	sort.Slice(jobs, func(i, j int) bool {
+		if jobs[i].d != jobs[j].d {
+			return jobs[i].d < jobs[j].d
+		}
+		return jobs[i].js.job.ID < jobs[j].js.job.ID
+	})
+	remaining := s.cl.TotalSlots()
+	for i, e := range jobs {
+		level := remaining / (len(jobs) - i)
+		give := e.d
+		if give > level {
+			give = level
+		}
+		shares[e.js] = give
+		remaining -= give
+	}
+	return shares
+}
+
+// preemptForFairness restores max-min fairness when the cluster is full: a
+// job strictly below its fair share may take slots from jobs strictly above
+// theirs, killing the over-share job's youngest copy (the least work lost —
+// the rule Hadoop's fair scheduler uses). Without preemption a job arriving
+// into a busy cluster waits for task completions and short deadline-bound
+// jobs starve behind long copies.
+func (s *Simulator) preemptForFairness(shares map[*jobState]int) {
+	for {
+		// Neediest under-share job that still wants work.
+		var claimant *jobState
+		claimDef := 0
+		for _, js := range s.active {
+			if js.done || js.declined {
+				continue
+			}
+			if def := shares[js] - js.running; def > claimDef ||
+				(def == claimDef && def > 0 && js.job.ID < claimant.job.ID) {
+				claimant, claimDef = js, def
+			}
+		}
+		if claimant == nil {
+			return
+		}
+		// Most over-share job to take a slot from.
+		var victim *jobState
+		victimExcess := 0
+		for _, js := range s.active {
+			if js.done {
+				continue
+			}
+			if ex := js.running - shares[js]; ex > victimExcess {
+				victim, victimExcess = js, ex
+			}
+		}
+		if victim == nil {
+			return
+		}
+		if !s.preemptYoungest(victim) {
+			return
+		}
+		if !s.tryLaunch(claimant) {
+			claimant.declined = true
+			// The freed slot stays free for the next event; stop rather
+			// than churn more of the victim's work.
+			return
+		}
+	}
+}
+
+// preemptYoungest kills the victim's most recently launched copy, returning
+// the task to the unscheduled pool if that was its only copy.
+func (s *Simulator) preemptYoungest(victim *jobState) bool {
+	if victim.phase == nil {
+		return false
+	}
+	var t *taskRun
+	ci := -1
+	for _, tr := range victim.phase.tasks {
+		for i, c := range tr.copies {
+			if ci == -1 || c.start > t.copies[ci].start {
+				t, ci = tr, i
+			}
+		}
+	}
+	if ci == -1 {
+		return false
+	}
+	s.noteUtil()
+	c := t.copies[ci]
+	s.eng.Cancel(c.ev)
+	s.cl.Release(c.machineID)
+	victim.running--
+	if c.speculative {
+		victim.specRun--
+	}
+	victim.res.Preempted++
+	s.scoreCopy(c, s.eng.Now())
+	t.copies = append(t.copies[:ci], t.copies[ci+1:]...)
+	return true
+}
+
+// tryLaunch asks the job's policy for a launch and executes it.
+func (s *Simulator) tryLaunch(js *jobState) bool {
+	phase := js.phase
+	if phase == nil || phase.satisfied() {
+		return false
+	}
+	ctx := s.buildCtx(js)
+	views := s.buildViews(js, ctx)
+	if len(views) == 0 {
+		return false
+	}
+	d, ok := js.policy.Pick(ctx, views)
+	if !ok {
+		return false
+	}
+	if d.TaskIndex < 0 || d.TaskIndex >= len(phase.tasks) {
+		panic(fmt.Sprintf("sched: policy %s picked invalid task %d", js.policy.Name(), d.TaskIndex))
+	}
+	t := phase.tasks[d.TaskIndex]
+	if t.completed {
+		panic(fmt.Sprintf("sched: policy %s picked completed task %d", js.policy.Name(), d.TaskIndex))
+	}
+	// Recover the estimate the policy saw, for accuracy scoring.
+	var estTNew float64
+	for _, v := range views {
+		if v.Index == d.TaskIndex {
+			estTNew = v.TNew
+			break
+		}
+	}
+	s.launch(js, t, d.Speculative, estTNew)
+	return true
+}
+
+// launch starts one copy of t on a free slot.
+func (s *Simulator) launch(js *jobState, t *taskRun, speculative bool, estTNew float64) {
+	s.noteUtil()
+	m, ok := s.cl.Acquire(s.rngPlace)
+	if !ok {
+		panic("sched: launch without a free slot")
+	}
+	factor := t.nextFactor
+	if factor <= 0 {
+		factor = s.drawFactor(js)
+	}
+	t.nextFactor = 0 // consumed
+	now := s.eng.Now()
+	c := &copyRun{
+		machineID:   m.ID,
+		start:       now,
+		duration:    t.work * factor * m.Slowdown,
+		speculative: speculative,
+		tremBias:    1,
+	}
+	if !s.cfg.Oracle {
+		c.estTNew = estTNew
+		c.tremBias = s.est.SampleTRemBias()
+	}
+	if len(t.copies) == 0 {
+		t.firstStart = now
+	}
+	t.copies = append(t.copies, c)
+	js.running++
+	js.res.Launched++
+	if speculative {
+		js.specRun++
+		js.res.Speculative++
+	}
+	c.ev = s.eng.At(now+c.duration, func(*simevent.Engine) { s.onCopyComplete(js, t, c) })
+}
+
+// drawFactor samples a duration factor from the phase-appropriate tail.
+func (s *Simulator) drawFactor(js *jobState) float64 {
+	if js.phaseIdx == 0 {
+		return s.inputDist.Sample(s.rngDur)
+	}
+	return s.interDist.Sample(s.rngDur)
+}
+
+// buildCtx assembles the policy context for the job's current phase.
+func (s *Simulator) buildCtx(js *jobState) spec.Ctx {
+	now := s.eng.Now()
+	ctx := spec.Ctx{
+		TotalTasks:        len(js.phase.tasks),
+		TargetTasks:       js.phase.target,
+		CompletedTasks:    js.phase.completed,
+		WaveWidth:         s.fairShare(0),
+		RunningCopies:     js.running,
+		SpeculativeCopies: js.specRun,
+		Utilization:       s.cl.Utilization(),
+		Now:               now,
+	}
+	if s.cfg.Oracle {
+		ctx.EstimationAccuracy = 1
+	} else {
+		ctx.EstimationAccuracy = s.est.Accuracy()
+	}
+	if js.phaseIdx == 0 && js.job.Bound.Kind == task.DeadlineBound {
+		ctx.Kind = task.DeadlineBound
+		ctx.RemainingTime = js.inputDeadlineAbs - now
+		if ctx.RemainingTime < 0 {
+			ctx.RemainingTime = 0
+		}
+	} else {
+		// Error-bound input phases and every intermediate phase: complete
+		// `target` tasks as fast as possible.
+		ctx.Kind = task.ErrorBound
+	}
+	return ctx
+}
+
+// buildViews produces the policy's TaskViews for unfinished tasks of the
+// current phase. In oracle mode the views carry ground truth (exact
+// remaining time, the exact duration the next copy would have); otherwise
+// they carry estimator output, and the estimates are remembered for
+// accuracy scoring.
+func (s *Simulator) buildViews(js *jobState, ctx spec.Ctx) []spec.TaskView {
+	now := s.eng.Now()
+	s.viewBuf = s.viewBuf[:0]
+	for _, t := range js.phase.tasks {
+		if t.completed {
+			continue
+		}
+		v := spec.TaskView{Index: t.index}
+		if len(t.copies) > 0 {
+			v.Running = true
+			v.Copies = len(t.copies)
+			bestCopy := t.copies[0]
+			trueRem := bestCopy.remaining(now)
+			for _, c := range t.copies[1:] {
+				if r := c.remaining(now); r < trueRem {
+					trueRem, bestCopy = r, c
+				}
+			}
+			v.Elapsed = now - t.firstStart
+			if bestCopy.duration > 0 {
+				p := (now - bestCopy.start) / bestCopy.duration
+				if p > 0.999 {
+					p = 0.999
+				}
+				if p < 0 {
+					p = 0
+				}
+				v.Progress = p
+			}
+			if s.cfg.Oracle {
+				v.Speculable = true
+				v.TRem = trueRem
+			} else {
+				v.Speculable = v.Progress >= s.cfg.MinSpecProgress
+				// Extrapolation error shrinks as progress accumulates: a
+				// nearly-done copy's remaining time is well known.
+				bias := 1 + (bestCopy.tremBias-1)*(1-v.Progress)
+				v.TRem = trueRem * bias
+				if v.Speculable && len(bestCopy.pendTRem) < 4 {
+					bestCopy.pendTRem = append(bestCopy.pendTRem, pend{est: v.TRem, at: now})
+				}
+			}
+		}
+		if s.cfg.Oracle {
+			if t.nextFactor <= 0 {
+				t.nextFactor = s.drawFactor(js)
+			}
+			v.TNew = t.work * t.nextFactor
+		} else {
+			if t.tnewBias == 0 {
+				t.tnewBias = s.est.SampleTNewBias()
+			}
+			v.TNew = s.est.NormalizedMedian() * t.work * t.tnewBias
+		}
+		s.viewBuf = append(s.viewBuf, v)
+	}
+	return s.viewBuf
+}
+
+// onCopyComplete handles a copy finishing: the task completes, sibling
+// copies are killed ("the earliest among the original and speculative
+// copies is picked while the rest are killed"), and the job advances.
+func (s *Simulator) onCopyComplete(js *jobState, t *taskRun, c *copyRun) {
+	s.noteUtil()
+	now := s.eng.Now()
+	s.cl.Release(c.machineID)
+	js.running--
+	if c.speculative {
+		js.specRun--
+	}
+	s.scoreCopy(c, now)
+	if t.completed {
+		// Sibling kills cancel events, so this cannot happen; keep the
+		// guard cheap rather than crash a long experiment.
+		s.dispatch()
+		return
+	}
+	t.completed = true
+	t.span = now - t.firstStart
+	s.est.ObserveCompletion(c.duration / t.work)
+	// Kill the losing copies.
+	for _, o := range t.copies {
+		if o == c {
+			continue
+		}
+		s.eng.Cancel(o.ev)
+		s.cl.Release(o.machineID)
+		js.running--
+		if o.speculative {
+			js.specRun--
+		}
+		js.res.Killed++
+		s.scoreCopy(o, now)
+	}
+	t.copies = nil
+	js.phase.completed++
+	if js.phaseIdx == 0 {
+		if po, ok := js.policy.(spec.ProgressObserver); ok {
+			po.OnTaskComplete(js.phase.completed, now-js.job.Arrival)
+		}
+	}
+	if js.phase.satisfied() {
+		s.finishPhase(js)
+	}
+	s.dispatch()
+}
+
+// scoreCopy settles the copy's recorded estimates against ground truth.
+func (s *Simulator) scoreCopy(c *copyRun, now float64) {
+	if s.cfg.Oracle {
+		return
+	}
+	if c.estTNew > 0 {
+		s.est.RecordTNew(c.estTNew, c.duration)
+	}
+	for _, p := range c.pendTRem {
+		actual := c.duration - (p.at - c.start)
+		if actual > 0 {
+			s.est.RecordTRem(p.est, actual)
+		}
+	}
+	c.pendTRem = nil
+}
+
+// onInputDeadline freezes a deadline job's input phase: accuracy is locked
+// to the completed fraction and remaining input copies are killed.
+func (s *Simulator) onInputDeadline(js *jobState) {
+	js.deadlineEv = nil
+	if js.done || js.phaseIdx > 0 {
+		return
+	}
+	s.finishPhase(js)
+	s.dispatch()
+}
+
+// finishPhase closes the current phase, killing its running copies, and
+// advances to the next phase or completes the job.
+func (s *Simulator) finishPhase(js *jobState) {
+	s.noteUtil()
+	now := s.eng.Now()
+	// Kill every copy still running in this phase (unneeded work).
+	for _, t := range js.phase.tasks {
+		for _, c := range t.copies {
+			s.eng.Cancel(c.ev)
+			s.cl.Release(c.machineID)
+			js.running--
+			if c.speculative {
+				js.specRun--
+			}
+			js.res.Killed++
+			s.scoreCopy(c, now)
+		}
+		t.copies = nil
+	}
+	if js.phaseIdx == 0 {
+		js.inputEnd = now
+		total := len(js.phase.tasks)
+		js.res.Accuracy = float64(js.phase.completed) / float64(total)
+		js.res.InputDuration = now - js.job.Arrival
+		js.res.StragglerRatio = s.stragglerRatio(js.phase)
+		if js.deadlineEv != nil {
+			s.eng.Cancel(js.deadlineEv)
+			js.deadlineEv = nil
+		}
+	}
+	// Advance.
+	if js.phaseIdx >= len(js.job.Phases) {
+		s.finishJob(js)
+		return
+	}
+	p := js.job.Phases[js.phaseIdx]
+	js.phaseIdx++
+	tasks := make([]*taskRun, p.NumTasks)
+	for i := range tasks {
+		tasks[i] = &taskRun{index: i, work: p.WorkScale}
+	}
+	js.phase = &phaseRun{tasks: tasks, target: p.NumTasks}
+}
+
+// stragglerRatio returns max/median of work-normalized completed task spans.
+func (s *Simulator) stragglerRatio(p *phaseRun) float64 {
+	spans := make([]float64, 0, len(p.tasks))
+	for _, t := range p.tasks {
+		if t.completed && t.work > 0 {
+			spans = append(spans, t.span/t.work)
+		}
+	}
+	if len(spans) < 2 {
+		return 1
+	}
+	med := dist.Median(spans)
+	if med <= 0 {
+		return 1
+	}
+	return dist.Max(spans) / med
+}
+
+// finishJob records the result and notifies learning policies.
+func (s *Simulator) finishJob(js *jobState) {
+	now := s.eng.Now()
+	js.done = true
+	js.phase = nil
+	js.res.Duration = now - js.job.Arrival
+	if js.job.DAGLength() > 1 {
+		s.interObs[js.job.DAGLength()] = append(s.interObs[js.job.DAGLength()], now-js.inputEnd)
+	}
+	if ob, ok := js.policy.(spec.Observer); ok {
+		ctx := spec.Ctx{
+			Kind:               js.job.Bound.Kind,
+			TotalTasks:         js.job.NumTasks(),
+			WaveWidth:          s.fairShare(0),
+			Utilization:        s.cl.Utilization(),
+			EstimationAccuracy: s.est.Accuracy(),
+			Now:                now,
+		}
+		if s.cfg.Oracle {
+			ctx.EstimationAccuracy = 1
+		}
+		ob.OnJobEnd(ctx, js.res.Accuracy, js.res.InputDuration)
+	}
+	s.results = append(s.results, js.res)
+	// Compact the active list.
+	keep := s.active[:0]
+	for _, a := range s.active {
+		if !a.done {
+			keep = append(keep, a)
+		}
+	}
+	s.active = keep
+}

@@ -1,0 +1,151 @@
+// Package simevent provides the discrete-event simulation engine used by the
+// cluster simulator: a time-ordered event queue with a deterministic
+// tie-break and a simulation clock.
+//
+// Events are arbitrary callbacks scheduled at absolute simulation times.
+// Ties are broken by insertion order (FIFO among equal timestamps) so that
+// runs are fully reproducible regardless of heap internals.
+package simevent
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. The callback receives the engine so it can
+// schedule follow-up events.
+type Event struct {
+	Time float64
+	Fn   func(*Engine)
+
+	seq   uint64 // insertion order, breaks timestamp ties
+	index int    // heap index, -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event was removed before firing.
+func (e *Event) Cancelled() bool { return e.index == -2 }
+
+// Engine owns the event queue and the simulation clock.
+type Engine struct {
+	now    float64
+	nextSq uint64
+	queue  eventHeap
+	fired  uint64
+}
+
+// New returns an engine with the clock at 0.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns how many events have executed, useful for run statistics and
+// loop guards in tests.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Len returns the number of pending events.
+func (e *Engine) Len() int { return len(e.queue) }
+
+// At schedules fn at absolute time t and returns the event handle. It panics
+// if t is before the current time — that would reorder history.
+func (e *Engine) At(t float64, fn func(*Engine)) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("simevent: scheduling at %v before now %v", t, e.now))
+	}
+	ev := &Event{Time: t, Fn: fn, seq: e.nextSq}
+	e.nextSq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn delta time units from now.
+func (e *Engine) After(delta float64, fn func(*Engine)) *Event {
+	if delta < 0 {
+		panic(fmt.Sprintf("simevent: negative delay %v", delta))
+	}
+	return e.At(e.now+delta, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -2
+}
+
+// Step fires the next event, advancing the clock. It returns false when the
+// queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.Time
+	e.fired++
+	ev.Fn(e)
+	return true
+}
+
+// Run fires events until the queue drains or until limit events have fired
+// (limit <= 0 means no limit). It returns the number of events fired by this
+// call and an error if the limit was hit — a guard against runaway
+// simulations.
+func (e *Engine) Run(limit uint64) (uint64, error) {
+	var n uint64
+	for e.Step() {
+		n++
+		if limit > 0 && n >= limit {
+			if e.Len() > 0 {
+				return n, fmt.Errorf("simevent: event limit %d reached with %d events pending", limit, e.Len())
+			}
+			return n, nil
+		}
+	}
+	return n, nil
+}
+
+// RunUntil fires events with time <= t, then advances the clock to exactly t
+// if it has not passed it. Events scheduled after t remain queued.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.queue) > 0 && e.queue[0].Time <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// eventHeap orders by (Time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

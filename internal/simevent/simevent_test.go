@@ -1,0 +1,208 @@
+package simevent
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrdering(t *testing.T) {
+	e := New()
+	var got []float64
+	for _, tm := range []float64{5, 1, 3, 2, 4} {
+		tm := tm
+		e.At(tm, func(*Engine) { got = append(got, tm) })
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1.0, func(*Engine) { got = append(got, i) })
+	}
+	e.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", got)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := New()
+	e.At(2.5, func(en *Engine) {
+		if en.Now() != 2.5 {
+			t.Errorf("Now() = %v inside event at 2.5", en.Now())
+		}
+	})
+	e.Run(0)
+	if e.Now() != 2.5 {
+		t.Fatalf("final Now() = %v, want 2.5", e.Now())
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := New()
+	var at float64
+	e.At(3, func(en *Engine) {
+		en.After(2, func(en2 *Engine) { at = en2.Now() })
+	})
+	e.Run(0)
+	if at != 5 {
+		t.Fatalf("After(2) from t=3 fired at %v, want 5", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(10, func(en *Engine) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		en.At(5, func(*Engine) {})
+	})
+	e.Run(0)
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	New().After(-1, func(*Engine) {})
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.At(1, func(*Engine) { fired = true })
+	e.Cancel(ev)
+	e.Run(0)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() false after Cancel")
+	}
+	// Double cancel and nil cancel are no-ops.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestCancelMiddleOfQueue(t *testing.T) {
+	e := New()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		evs = append(evs, e.At(float64(i), func(*Engine) { got = append(got, i) }))
+	}
+	e.Cancel(evs[7])
+	e.Cancel(evs[13])
+	e.Run(0)
+	if len(got) != 18 {
+		t.Fatalf("fired %d, want 18", len(got))
+	}
+	for _, v := range got {
+		if v == 7 || v == 13 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("out of order after cancels: %v", got)
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	e := New()
+	// A self-perpetuating event chain must be stopped by the limit.
+	var rearm func(*Engine)
+	rearm = func(en *Engine) { en.After(1, rearm) }
+	e.At(0, rearm)
+	n, err := e.Run(100)
+	if err == nil {
+		t.Fatal("expected limit error")
+	}
+	if n != 100 {
+		t.Fatalf("fired %d, want 100", n)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var got []float64
+	for _, tm := range []float64{1, 2, 3, 4, 5} {
+		tm := tm
+		e.At(tm, func(*Engine) { got = append(got, tm) })
+	}
+	e.RunUntil(3)
+	if len(got) != 3 {
+		t.Fatalf("fired %d events by t=3, want 3", len(got))
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now() = %v, want 3", e.Now())
+	}
+	if e.Len() != 2 {
+		t.Fatalf("pending %d, want 2", e.Len())
+	}
+	// RunUntil past the queue end advances the clock anyway.
+	e.RunUntil(10)
+	if e.Now() != 10 || e.Len() != 0 {
+		t.Fatalf("Now=%v Len=%d after RunUntil(10)", e.Now(), e.Len())
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 5; i++ {
+		e.At(float64(i), func(*Engine) {})
+	}
+	e.Run(0)
+	if e.Fired() != 5 {
+		t.Fatalf("Fired() = %d, want 5", e.Fired())
+	}
+}
+
+func TestOrderingProperty(t *testing.T) {
+	// For arbitrary non-negative schedules, events always fire in
+	// non-decreasing time order and all fire exactly once.
+	if err := quick.Check(func(raw []float64) bool {
+		e := New()
+		times := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if v < 0 {
+				v = -v
+			}
+			if v > 1e12 || v != v { // cap and skip NaN
+				continue
+			}
+			times = append(times, v)
+		}
+		var fired []float64
+		for _, tm := range times {
+			tm := tm
+			e.At(tm, func(*Engine) { fired = append(fired, tm) })
+		}
+		e.Run(0)
+		if len(fired) != len(times) {
+			return false
+		}
+		return sort.Float64sAreSorted(fired)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,189 @@
+package spec
+
+// This file implements the production baselines the paper compares against:
+// LATE (Zaharia et al., OSDI '08) and Mantri (Ananthanarayanan et al.,
+// OSDI '10), plus a no-speculation control. Both baselines are
+// approximation-oblivious: they launch unscheduled tasks in submission
+// order and only differ in when they speculate — which is exactly the
+// deficiency GRASS addresses (§1: "by not considering the approximation
+// bounds, state-of-the-art straggler mitigation techniques ... fall
+// significantly short").
+
+// NoSpec never speculates: unscheduled tasks run in index (FIFO) order.
+// It isolates the value of speculation itself in ablations.
+type NoSpec struct{}
+
+// Name returns "NoSpec".
+func (NoSpec) Name() string { return "NoSpec" }
+
+// Pick launches the lowest-index unscheduled task.
+func (NoSpec) Pick(_ Ctx, tasks []TaskView) (Decision, bool) {
+	for _, t := range tasks {
+		if !t.Running {
+			return Decision{TaskIndex: t.Index}, true
+		}
+	}
+	return Decision{}, false
+}
+
+// LATE implements the LATE scheduler's speculation rules:
+//
+//   - new (unscheduled) tasks always take priority, in FIFO order;
+//   - when none remain, speculate the running task with the Longest
+//     Approximate Time to End, but only among tasks whose progress rate is
+//     below the SlowTaskThreshold percentile of running tasks;
+//   - never run more than two copies of a task;
+//   - cap concurrently running speculative copies at SpeculativeCap × the
+//     job's slot share.
+type LATE struct {
+	// SlowTaskThreshold is the progress-rate percentile below which a task
+	// is considered slow (LATE's default: 25th percentile).
+	SlowTaskThreshold float64
+	// SpeculativeCap bounds speculative copies as a fraction of the job's
+	// current wave width (LATE's default: 10%).
+	SpeculativeCap float64
+	// MinElapsed avoids speculating tasks that just started (progress rates
+	// are meaningless at first); LATE uses a 1-minute floor on big clusters,
+	// scaled here in simulation time units.
+	MinElapsed float64
+}
+
+// NewLATE returns LATE with its published default parameters.
+func NewLATE() LATE {
+	return LATE{SlowTaskThreshold: 0.25, SpeculativeCap: 0.10, MinElapsed: 0}
+}
+
+// Name returns "LATE".
+func (LATE) Name() string { return "LATE" }
+
+// Pick implements Policy.
+func (l LATE) Pick(ctx Ctx, tasks []TaskView) (Decision, bool) {
+	// New tasks first, FIFO — LATE does not reorder work by any bound.
+	for _, t := range tasks {
+		if !t.Running {
+			return Decision{TaskIndex: t.Index}, true
+		}
+	}
+	// Speculation cap: at most SpeculativeCap × wave-width speculative
+	// copies at once (minimum 1 so small jobs can still speculate).
+	cap := int(l.SpeculativeCap * float64(ctx.WaveWidth))
+	if cap < 1 {
+		cap = 1
+	}
+	if ctx.SpeculativeCopies >= cap {
+		return Decision{}, false
+	}
+	// Collect progress rates of running singleton tasks.
+	type cand struct {
+		i    int
+		rate float64
+	}
+	var cands []cand
+	var rates []float64
+	for i, t := range tasks {
+		if !t.Running || !t.Speculable || t.Copies >= 2 || t.Elapsed < l.MinElapsed || t.Elapsed <= 0 {
+			continue
+		}
+		r := t.Progress / t.Elapsed
+		cands = append(cands, cand{i, r})
+		rates = append(rates, r)
+	}
+	if len(cands) == 0 {
+		return Decision{}, false
+	}
+	thr := percentile(rates, l.SlowTaskThreshold)
+	// Among slow tasks, pick the longest approximate time to end. LATE
+	// estimates time-left as (1 − progress) / progress-rate.
+	best := -1
+	var bestLeft float64
+	for _, c := range cands {
+		if c.rate > thr {
+			continue
+		}
+		t := tasks[c.i]
+		var left float64
+		if c.rate > 0 {
+			left = (1 - t.Progress) / c.rate
+		} else {
+			left = t.TNew * 100 // stalled task: effectively infinite
+		}
+		if best == -1 || left > bestLeft {
+			best, bestLeft = c.i, left
+		}
+	}
+	if best == -1 {
+		return Decision{}, false
+	}
+	return Decision{TaskIndex: tasks[best].Index, Speculative: true}, true
+}
+
+// Mantri implements Mantri's duplicate rule: schedule a restart/duplicate
+// for an outlier only when doing so is likely to reduce total resource
+// usage, i.e. when the remaining time is at least twice a fresh copy
+// (t_rem > 2×t_new). Unscheduled tasks still run FIFO — like LATE, Mantri
+// has no notion of an approximation bound — but unlike LATE, Mantri acts on
+// outliers even while unscheduled tasks remain, because its criterion
+// guarantees a net resource saving.
+type Mantri struct {
+	// Threshold is the t_rem/t_new ratio required to duplicate (paper: 2).
+	Threshold float64
+}
+
+// NewMantri returns Mantri with its published threshold.
+func NewMantri() Mantri { return Mantri{Threshold: 2} }
+
+// Name returns "Mantri".
+func (Mantri) Name() string { return "Mantri" }
+
+// Pick implements Policy.
+func (m Mantri) Pick(ctx Ctx, tasks []TaskView) (Decision, bool) {
+	// Outlier duplication first: worst ratio wins.
+	best := -1
+	var bestRatio float64
+	for i, t := range tasks {
+		if !t.Running || !t.Speculable || t.Copies >= 2 || t.TNew <= 0 {
+			continue
+		}
+		if r := t.TRem / t.TNew; r > m.Threshold && (best == -1 || r > bestRatio) {
+			best, bestRatio = i, r
+		}
+	}
+	if best != -1 {
+		return Decision{TaskIndex: tasks[best].Index, Speculative: true}, true
+	}
+	for _, t := range tasks {
+		if !t.Running {
+			return Decision{TaskIndex: t.Index}, true
+		}
+	}
+	return Decision{}, false
+}
+
+// percentile returns the p-quantile of xs by linear interpolation; it copies
+// xs. Duplicated from internal/dist to keep spec dependency-light for
+// policies that run in the scheduler's hot loop.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	// insertion sort: candidate sets are small (running tasks of one job)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	pos := p * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

@@ -1,0 +1,257 @@
+package spec
+
+import "github.com/approx-analytics/grass/internal/task"
+
+// GS is Greedy Speculative scheduling (Pseudocode 1 & 2 with OC = 0): pick
+// the launch that most improves the approximation goal right now. For
+// deadline-bound jobs that is Shortest Job First over fresh copies and
+// beneficial speculative copies; for error-bound jobs it is Longest Job
+// First over the tasks needed to reach the bound.
+type GS struct{}
+
+// Name returns "GS".
+func (GS) Name() string { return "GS" }
+
+// Pick implements Policy.
+func (GS) Pick(ctx Ctx, tasks []TaskView) (Decision, bool) {
+	if ctx.Kind == task.DeadlineBound {
+		return gsDeadline(ctx, tasks)
+	}
+	return gsError(ctx, tasks)
+}
+
+// gsDeadline: prune tasks that cannot finish by the deadline and speculative
+// copies that would not beat the running copy; select the lowest t_new.
+func gsDeadline(ctx Ctx, tasks []TaskView) (Decision, bool) {
+	best := -1
+	var bestNew float64
+	for i, t := range tasks {
+		if t.TNew > ctx.RemainingTime { // exceeds deadline: prune
+			continue
+		}
+		if t.Running {
+			// Pseudocode 1's only speculation checks: a copy must be
+			// possible (progress reported, copy budget left) and must beat
+			// the running copy. GS deliberately does NOT weigh whether the
+			// original would make the deadline anyway — that naive greed is
+			// exactly the opportunity cost RAS avoids (§3.1.1).
+			if !t.Speculable || t.Copies >= MaxCopies || t.TNew >= t.TRem {
+				continue
+			}
+		}
+		if best == -1 || t.TNew < bestNew {
+			best, bestNew = i, t.TNew
+		}
+	}
+	if best == -1 {
+		return Decision{}, false
+	}
+	return Decision{TaskIndex: tasks[best].Index, Speculative: tasks[best].Running}, true
+}
+
+// gsError: restrict to the tasks that contribute earliest to the error
+// bound (the `need` unfinished tasks with smallest effective duration
+// min(t_rem, t_new)), then select the one with the largest remaining work —
+// LJF, speculating the worst straggler first.
+func gsError(ctx Ctx, tasks []TaskView) (Decision, bool) {
+	cand := earliestSet(ctx, tasks)
+	best := -1
+	var bestKey float64
+	for _, i := range cand {
+		t := tasks[i]
+		if t.Running && (!t.Speculable || t.Copies >= MaxCopies || t.TNew >= t.TRem) {
+			continue
+		}
+		key := t.TNew
+		if t.Running {
+			key = t.TRem
+		}
+		if best == -1 || key > bestKey {
+			best, bestKey = i, key
+		}
+	}
+	if best == -1 {
+		return Decision{}, false
+	}
+	return Decision{TaskIndex: tasks[best].Index, Speculative: tasks[best].Running}, true
+}
+
+// RAS is Resource Aware Speculative scheduling (Pseudocode 1 & 2 with
+// OC = 1): a speculative copy is launched only when it saves both time and
+// resources — c×t_rem − (c+1)×t_new > 0 — and among positive-saving
+// candidates the largest saving wins. When no speculation saves resources,
+// RAS falls back to the bound's natural ordering of unscheduled tasks (SJF
+// for deadlines, LJF for error bounds).
+type RAS struct{}
+
+// Name returns "RAS".
+func (RAS) Name() string { return "RAS" }
+
+// Pick implements Policy.
+func (RAS) Pick(ctx Ctx, tasks []TaskView) (Decision, bool) {
+	if ctx.Kind == task.DeadlineBound {
+		return rasDeadline(ctx, tasks)
+	}
+	return rasError(ctx, tasks)
+}
+
+func rasDeadline(ctx Ctx, tasks []TaskView) (Decision, bool) {
+	// Speculation candidates: positive saving, within the deadline.
+	spec := -1
+	var specSaving float64
+	// Fallback: unscheduled tasks by SJF.
+	fresh := -1
+	var freshNew float64
+	for i, t := range tasks {
+		if t.TNew > ctx.RemainingTime {
+			continue
+		}
+		if t.Running {
+			if !t.Speculable || t.Copies >= MaxCopies {
+				continue
+			}
+			if s := t.Saving(); s > 0 && (spec == -1 || s > specSaving) {
+				spec, specSaving = i, s
+			}
+		} else if fresh == -1 || t.TNew < freshNew {
+			fresh, freshNew = i, t.TNew
+		}
+	}
+	if spec >= 0 {
+		return Decision{TaskIndex: tasks[spec].Index, Speculative: true}, true
+	}
+	if fresh >= 0 {
+		return Decision{TaskIndex: tasks[fresh].Index}, true
+	}
+	return Decision{}, false
+}
+
+func rasError(ctx Ctx, tasks []TaskView) (Decision, bool) {
+	cand := earliestSet(ctx, tasks)
+	spec := -1
+	var specSaving float64
+	fresh := -1
+	var freshKey float64
+	for _, i := range cand {
+		t := tasks[i]
+		if t.Running {
+			if !t.Speculable || t.Copies >= MaxCopies {
+				continue
+			}
+			if s := t.Saving(); s > 0 && (spec == -1 || s > specSaving) {
+				spec, specSaving = i, s
+			}
+		} else if fresh == -1 || t.TNew > freshKey { // LJF over unscheduled
+			fresh, freshKey = i, t.TNew
+		}
+	}
+	if spec >= 0 {
+		return Decision{TaskIndex: tasks[spec].Index, Speculative: true}, true
+	}
+	if fresh >= 0 {
+		return Decision{TaskIndex: tasks[fresh].Index}, true
+	}
+	return Decision{}, false
+}
+
+// effDuration is a task's realistic effective completion time for the
+// error-bound pruning: fresh tasks cost t_new; running tasks finish at the
+// earlier of waiting and re-running when a copy could still rescue them,
+// and at t_rem otherwise. A deep straggler that cannot be speculated right
+// now therefore falls out of the earliest set and a spare unscheduled task
+// takes its place — the hedge that makes error bounds cheap.
+func effDuration(t TaskView) float64 {
+	if !t.Running {
+		return t.TNew
+	}
+	if t.Speculable && t.Copies < MaxCopies {
+		if t.TRem < t.TNew {
+			return t.TRem
+		}
+		return t.TNew
+	}
+	return t.TRem
+}
+
+// earliestSet returns the indices (into tasks) of the `need` unfinished
+// tasks with the smallest effective duration — the tasks that contribute
+// earliest to the error bound (Pseudocode 2's pruning stage). need =
+// TargetTasks − CompletedTasks; if more tasks remain than needed, the
+// slowest ones are pruned from consideration entirely. Selection uses an
+// O(n) quickselect (this runs once per launch decision); ties at the
+// threshold are broken by task index for determinism.
+func earliestSet(ctx Ctx, tasks []TaskView) []int {
+	need := ctx.Remaining()
+	if need <= 0 {
+		return nil
+	}
+	if need >= len(tasks) {
+		idx := make([]int, len(tasks))
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	pairs := make([]effIdx, len(tasks))
+	for i, t := range tasks {
+		pairs[i] = effIdx{eff: effDuration(t), idx: i}
+	}
+	quickselectPairs(pairs, need-1)
+	idx := make([]int, need)
+	for i := 0; i < need; i++ {
+		idx[i] = pairs[i].idx
+	}
+	return idx
+}
+
+type effIdx struct {
+	eff float64
+	idx int
+}
+
+// quickselectPairs partially orders pairs so the k smallest (by eff, ties
+// by idx — deterministic) occupy the first k+1 positions.
+func quickselectPairs(xs []effIdx, k int) {
+	less := func(a, b effIdx) bool {
+		if a.eff != b.eff {
+			return a.eff < b.eff
+		}
+		return a.idx < b.idx
+	}
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		// Median-of-three pivot guards against sorted inputs.
+		mid := lo + (hi-lo)/2
+		if less(xs[mid], xs[lo]) {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if less(xs[hi], xs[lo]) {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if less(xs[hi], xs[mid]) {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+		i, j := lo, hi
+		for i <= j {
+			for less(xs[i], pivot) {
+				i++
+			}
+			for less(pivot, xs[j]) {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
