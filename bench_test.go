@@ -17,11 +17,15 @@ import (
 
 // benchCfg is the reduced experiment size used for benchmarks: one seed and
 // a shorter trace keep `go test -bench=.` tractable; cmd/grass-bench -full
-// produces the EXPERIMENTS.md numbers.
+// produces the EXPERIMENTS.md numbers. Workers = 0 fans each experiment's
+// (policy, seed) simulations out across every core; the harness guarantees
+// byte-identical tables for any worker count, so parallelism changes only
+// the wall clock, never the reported metrics.
 var benchCfg = func() exp.Config {
 	c := exp.Quick()
 	c.Jobs = 80
 	c.Seeds = []int64{1}
+	c.Workers = 0
 	return c
 }()
 
@@ -196,4 +200,26 @@ func BenchmarkAblationTail(b *testing.B) {
 // the metric is GRASS's gain under default noise.
 func BenchmarkAblationEstimation(b *testing.B) {
 	runExperiment(b, exp.AblationEstimation, "gain-%", 0, 0)
+}
+
+// BenchmarkHarnessWorkers measures the experiment harness's parallel
+// fan-out: the same PotentialGains experiment (4 scenarios × 3 policies ×
+// 2 seeds = 24 simulations) with a single worker versus one worker per
+// core. The tables produced are byte-identical; only wall clock differs.
+func BenchmarkHarnessWorkers(b *testing.B) {
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"allcores", 0}} {
+		b.Run(bench.name, func(b *testing.B) {
+			cfg := exp.Quick()
+			cfg.Jobs = 80
+			cfg.Workers = bench.workers
+			for i := 0; i < b.N; i++ {
+				if _, err := exp.PotentialGains(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

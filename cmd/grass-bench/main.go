@@ -19,9 +19,10 @@ import (
 
 func main() {
 	var (
-		fig  = flag.String("fig", "", "run one experiment by ID (see -list)")
-		full = flag.Bool("full", false, "full-size runs (slower; EXPERIMENTS.md numbers)")
-		list = flag.Bool("list", false, "list experiment IDs")
+		fig     = flag.String("fig", "", "run one experiment by ID (see -list)")
+		full    = flag.Bool("full", false, "full-size runs (slower; EXPERIMENTS.md numbers)")
+		list    = flag.Bool("list", false, "list experiment IDs")
+		workers = flag.Int("workers", 0, "concurrent simulations per experiment (0 = all cores); results are identical for any value")
 	)
 	flag.Parse()
 
@@ -35,6 +36,7 @@ func main() {
 	if *full {
 		cfg = exp.Default()
 	}
+	cfg.Workers = *workers
 	ran := 0
 	for _, e := range exp.All() {
 		if *fig != "" && e.ID != *fig {

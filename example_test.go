@@ -49,9 +49,9 @@ func ExampleGenerateTrace() {
 		fmt.Printf("job %d: %d tasks, eps %.2f\n", j.ID, j.NumTasks(), j.Bound.Epsilon)
 	}
 	// Output:
-	// job 0: 18 tasks, eps 0.24
-	// job 1: 37 tasks, eps 0.24
-	// job 2: 203 tasks, eps 0.21
-	// job 3: 105 tasks, eps 0.13
-	// job 4: 341 tasks, eps 0.22
+	// job 0: 655 tasks, eps 0.28
+	// job 1: 1229 tasks, eps 0.10
+	// job 2: 34 tasks, eps 0.28
+	// job 3: 11 tasks, eps 0.06
+	// job 4: 7 tasks, eps 0.10
 }

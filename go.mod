@@ -1,0 +1,3 @@
+module github.com/approx-analytics/grass
+
+go 1.22

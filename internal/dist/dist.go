@@ -1,0 +1,186 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sampler draws values from a distribution. Mean is the analytic expected
+// value; the simulator uses it for cold-start estimates (and the trace
+// generator to convert offered load into arrival spacing).
+type Sampler interface {
+	Sample(r *RNG) float64
+	Mean() float64
+}
+
+// Pareto is the (untruncated) Pareto distribution with scale Xm and shape
+// Beta: P(τ > x) = (Xm/x)^Beta for x ≥ Xm. The paper's Hill estimate of
+// production task durations is Beta = 1.259 (Figure 3) — infinite variance,
+// the regime where speculation pays.
+type Pareto struct {
+	Xm   float64
+	Beta float64
+}
+
+// Sample draws by inverting the survival function.
+func (p Pareto) Sample(r *RNG) float64 {
+	// 1−U ∈ (0, 1] keeps the power finite.
+	return p.Xm * math.Pow(1-r.Float64(), -1/p.Beta)
+}
+
+// Mean is E[τ] = β·xm/(β−1), +Inf for β ≤ 1.
+func (p Pareto) Mean() float64 {
+	if p.Beta <= 1 {
+		return math.Inf(1)
+	}
+	return p.Beta * p.Xm / (p.Beta - 1)
+}
+
+// Median is xm·2^(1/β).
+func (p Pareto) Median() float64 { return p.Xm * math.Pow(2, 1/p.Beta) }
+
+// MeanResidual is E[τ−ω | τ>ω]: ω/(β−1) for ω ≥ xm (the memory-increasing
+// property Appendix A leans on), E[τ]−ω below the scale where the
+// conditioning is vacuous. +Inf for β ≤ 1.
+func (p Pareto) MeanResidual(omega float64) float64 {
+	if p.Beta <= 1 {
+		return math.Inf(1)
+	}
+	if omega <= p.Xm {
+		return p.Mean() - omega
+	}
+	return omega / (p.Beta - 1)
+}
+
+// MinMean is E[min(τ1..τk)] for k iid draws (k may be fractional, as in
+// Theorem 1's continuous relaxation): the minimum of k Paretos is
+// Pareto(xm, kβ).
+func (p Pareto) MinMean(k float64) float64 {
+	kb := k * p.Beta
+	if kb <= 1 {
+		return math.Inf(1)
+	}
+	return p.Xm * kb / (kb - 1)
+}
+
+// Lognormal is exp(N(Mu, Sigma²)) — per-task data skew and per-machine
+// slowdown factors (median exp(Mu)).
+type Lognormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// Sample draws exp(Mu + Sigma·Z).
+func (l Lognormal) Sample(r *RNG) float64 {
+	return math.Exp(l.Mu + l.Sigma*r.Norm())
+}
+
+// Mean is exp(Mu + Sigma²/2).
+func (l Lognormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Median is exp(Mu).
+func (l Lognormal) Median() float64 { return math.Exp(l.Mu) }
+
+// Exponential has mean Mu — Poisson arrival spacing in the trace generator.
+type Exponential struct {
+	Mu float64
+}
+
+// Sample draws by inversion.
+func (e Exponential) Sample(r *RNG) float64 {
+	return -e.Mu * math.Log(1-r.Float64())
+}
+
+// Mean returns Mu.
+func (e Exponential) Mean() float64 { return e.Mu }
+
+// TruncatedPareto is a Pareto(Xm, Beta) conditioned on τ ≤ Cap: finite
+// traces never realize the infinite tail, so the simulator caps duration
+// factors (sched.Config.DurationCap) while keeping the Pareto shape below
+// the cap.
+type TruncatedPareto struct {
+	Xm, Beta, Cap float64
+	// pCap caches (Xm/Cap)^Beta = P(τ > Cap) of the untruncated law.
+	pCap float64
+}
+
+// NewTruncatedPareto builds the truncated sampler. Cap must exceed Xm.
+func NewTruncatedPareto(xm, beta, cap float64) (TruncatedPareto, error) {
+	if xm <= 0 || beta <= 0 {
+		return TruncatedPareto{}, fmt.Errorf("dist: truncated Pareto needs xm>0, beta>0 (got xm=%v beta=%v)", xm, beta)
+	}
+	if cap <= xm {
+		return TruncatedPareto{}, fmt.Errorf("dist: truncation cap %v must exceed xm %v", cap, xm)
+	}
+	return TruncatedPareto{Xm: xm, Beta: beta, Cap: cap, pCap: math.Pow(xm/cap, beta)}, nil
+}
+
+// Sample inverts the truncated CDF — exactly one uniform per draw, so
+// replay never depends on rejection luck.
+func (t TruncatedPareto) Sample(r *RNG) float64 {
+	u := r.Float64()
+	v := t.Xm * math.Pow(1-u*(1-t.pCap), -1/t.Beta)
+	if v > t.Cap { // guard float round-off at u → 1
+		v = t.Cap
+	}
+	return v
+}
+
+// Mean is the conditional mean E[τ | τ ≤ Cap] — always finite, even for
+// β ≤ 1.
+func (t TruncatedPareto) Mean() float64 {
+	b, xm, cap := t.Beta, t.Xm, t.Cap
+	mass := 1 - t.pCap
+	if b == 1 {
+		return xm * math.Log(cap/xm) / mass
+	}
+	// ∫_{xm}^{cap} x·βxm^β x^{−β−1} dx = βxm^β/(β−1)·(xm^{1−β} − cap^{1−β})
+	num := b * math.Pow(xm, b) / (b - 1) * (math.Pow(xm, 1-b) - math.Pow(cap, 1-b))
+	return num / mass
+}
+
+// BodyTail is the paper-faithful copy-duration factor distribution
+// (Figure 3: production durations are "not exactly Pareto in its body" —
+// only the tail is). With probability TailFrac a draw is a straggler from a
+// truncated Pareto tail starting at TailStart; otherwise it comes from the
+// predictable uniform body [BodyLo, BodyHi] around the median.
+type BodyTail struct {
+	BodyLo, BodyHi float64
+	TailFrac       float64
+	Tail           TruncatedPareto
+}
+
+// NewBodyTail builds the mixture: body uniform on [bodyLo, bodyHi], tail
+// TruncatedPareto(tailStart, beta, cap) drawn with probability tailFrac.
+func NewBodyTail(bodyLo, bodyHi, tailStart, beta, cap, tailFrac float64) (BodyTail, error) {
+	if bodyLo <= 0 || bodyHi < bodyLo {
+		return BodyTail{}, fmt.Errorf("dist: body range [%v, %v] invalid", bodyLo, bodyHi)
+	}
+	if tailFrac <= 0 || tailFrac > 1 {
+		return BodyTail{}, fmt.Errorf("dist: tail fraction %v out of (0, 1]", tailFrac)
+	}
+	if tailStart < bodyHi {
+		return BodyTail{}, fmt.Errorf("dist: tail start %v below body top %v", tailStart, bodyHi)
+	}
+	tail, err := NewTruncatedPareto(tailStart, beta, cap)
+	if err != nil {
+		return BodyTail{}, err
+	}
+	return BodyTail{BodyLo: bodyLo, BodyHi: bodyHi, TailFrac: tailFrac, Tail: tail}, nil
+}
+
+// Sample flips the straggler coin, then draws from the chosen component.
+// Always exactly two uniforms (coin + component) per call, so stream
+// positions are branch-independent.
+func (b BodyTail) Sample(r *RNG) float64 {
+	if r.Float64() < b.TailFrac {
+		return b.Tail.Sample(r)
+	}
+	return b.BodyLo + r.Float64()*(b.BodyHi-b.BodyLo)
+}
+
+// Mean mixes the component means.
+func (b BodyTail) Mean() float64 {
+	body := (b.BodyLo + b.BodyHi) / 2
+	return (1-b.TailFrac)*body + b.TailFrac*b.Tail.Mean()
+}

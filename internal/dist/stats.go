@@ -1,0 +1,52 @@
+package dist
+
+import (
+	"math"
+	"sort"
+)
+
+// Median returns the middle value of s (mean of the middle two for even
+// lengths), 0 for an empty slice. The input is not modified.
+func Median(s []float64) float64 {
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	c := append([]float64(nil), s...)
+	sort.Float64s(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// Max returns the largest value of s, -Inf for an empty slice.
+func Max(s []float64) float64 {
+	m := math.Inf(-1)
+	for _, v := range s {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// StdDev returns the sample standard deviation (n−1 denominator) of s,
+// 0 for fewer than two values.
+func StdDev(s []float64) float64 {
+	n := len(s)
+	if n < 2 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range s {
+		mean += v
+	}
+	mean /= float64(n)
+	ss := 0.0
+	for _, v := range s {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/approx-analytics/grass/internal/core"
 	"github.com/approx-analytics/grass/internal/dist"
@@ -39,41 +40,93 @@ func grassWithXi(xi float64) policySpec {
 // runSet holds paired results: policy name → per-seed job results.
 type runSet map[string][][]sched.JobResult
 
-// runScenario simulates every policy over every seed for one scenario.
+// scenario is one cell of an experiment's grid: a workload/framework/bound
+// combination simulated under a set of policies (with an optional simulator
+// config mutation) across every seed.
+type scenario struct {
+	w        trace.Workload
+	fw       trace.Framework
+	b        trace.BoundMode
+	dag      int
+	policies []policySpec
+	mutate   func(*sched.Config)
+}
+
+// runScenarios fans the full (scenario, policy, seed) grid out over one
+// bounded worker pool and returns one runSet per scenario, in input order.
+// Pooling across scenarios — not per scenario — keeps every worker busy
+// even when a single scenario has fewer runs than the pool has slots.
+//
+// Determinism: each run builds its own trace, factory and simulator from
+// its seed alone and writes into its own pre-assigned result slot, so the
+// output is byte-identical regardless of worker count or goroutine
+// interleaving.
+func (c Config) runScenarios(scs []scenario) ([]runSet, error) {
+	nSeeds := len(c.Seeds)
+	starts := make([]int, len(scs)+1)
+	for i, sc := range scs {
+		starts[i+1] = starts[i] + len(sc.policies)*nSeeds
+	}
+	results := make([][]sched.JobResult, starts[len(scs)])
+	err := forEach(len(results), c.workers(), func(idx int) error {
+		si := sort.Search(len(scs), func(i int) bool { return starts[i+1] > idx })
+		sc := scs[si]
+		off := idx - starts[si]
+		p := sc.policies[off/nSeeds]
+		seed := c.Seeds[off%nSeeds]
+		tc := c.TraceConfig(sc.w, sc.fw, sc.b, seed)
+		if sc.dag > 1 {
+			tc.DAGLength = sc.dag
+		}
+		jobs, err := trace.Generate(tc)
+		if err != nil {
+			return err
+		}
+		factory, oracleMode, err := p.make(seed)
+		if err != nil {
+			return err
+		}
+		scfg := c.SchedConfig(sc.fw, seed, oracleMode)
+		if sc.mutate != nil {
+			sc.mutate(&scfg)
+		}
+		sim, err := sched.New(scfg, factory)
+		if err != nil {
+			return err
+		}
+		stats, err := sim.Run(jobs)
+		if err != nil {
+			return fmt.Errorf("%s/%s/%s seed %d: %w", sc.w, sc.fw, p.name, seed, err)
+		}
+		results[idx] = stats.Results
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]runSet, len(scs))
+	for si, sc := range scs {
+		rs := make(runSet, len(sc.policies))
+		for pi, p := range sc.policies {
+			lo := starts[si] + pi*nSeeds
+			// Full slice expression: capacity ends at the policy's own
+			// block, so a future append can never bleed into a neighbour.
+			rs[p.name] = results[lo : lo+nSeeds : lo+nSeeds]
+		}
+		out[si] = rs
+	}
+	return out, nil
+}
+
+// runScenario is the single-cell convenience wrapper around runScenarios.
 func (c Config) runScenario(w trace.Workload, fw trace.Framework, b trace.BoundMode, dag int,
 	policies []policySpec, mutate func(*sched.Config)) (runSet, error) {
 
-	out := make(runSet, len(policies))
-	for _, p := range policies {
-		for _, seed := range c.Seeds {
-			tc := c.TraceConfig(w, fw, b, seed)
-			if dag > 1 {
-				tc.DAGLength = dag
-			}
-			jobs, err := trace.Generate(tc)
-			if err != nil {
-				return nil, err
-			}
-			factory, oracleMode, err := p.make(seed)
-			if err != nil {
-				return nil, err
-			}
-			scfg := c.SchedConfig(fw, seed, oracleMode)
-			if mutate != nil {
-				mutate(&scfg)
-			}
-			sim, err := sched.New(scfg, factory)
-			if err != nil {
-				return nil, err
-			}
-			stats, err := sim.Run(jobs)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s/%s seed %d: %w", w, fw, p.name, seed, err)
-			}
-			out[p.name] = append(out[p.name], stats.Results)
-		}
+	out, err := c.runScenarios([]scenario{{w: w, fw: fw, b: b, dag: dag, policies: policies, mutate: mutate}})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return out[0], nil
 }
 
 // improvement reduces a runSet to the median (across seeds) improvement of
@@ -206,18 +259,22 @@ func PotentialGains(cfg Config) (*Table, error) {
 		Columns: []string{"vs LATE", "vs Mantri"},
 	}
 	pols := []policySpec{named("late"), named("mantri"), named("oracle")}
+	var scs []scenario
 	for _, w := range []trace.Workload{trace.Facebook, trace.Bing} {
 		for _, b := range []trace.BoundMode{trace.DeadlineBound, trace.ErrorBound} {
-			rs, err := cfg.runScenario(w, trace.Hadoop, b, 1, pols, nil)
-			if err != nil {
-				return nil, err
-			}
-			m := boundMetric(b)
-			label := fmt.Sprintf("%s/%s", w, boundName(b))
-			t.AddRow(label,
-				rs.improvement("late", "oracle", m, nil),
-				rs.improvement("mantri", "oracle", m, nil))
+			scs = append(scs, scenario{w: w, fw: trace.Hadoop, b: b, dag: 1, policies: pols})
 		}
+	}
+	sets, err := cfg.runScenarios(scs)
+	if err != nil {
+		return nil, err
+	}
+	for i, sc := range scs {
+		m := boundMetric(sc.b)
+		label := fmt.Sprintf("%s/%s", sc.w, boundName(sc.b))
+		t.AddRow(label,
+			sets[i].improvement("late", "oracle", m, nil),
+			sets[i].improvement("mantri", "oracle", m, nil))
 	}
 	return t, nil
 }
@@ -246,23 +303,22 @@ func figBinMatrix(cfg Config, b trace.BoundMode, title string) (*Table, error) {
 	}
 	pols := []policySpec{named("late"), named("mantri"), named("grass")}
 	metric := boundMetric(b)
-	type cell struct{ rs runSet }
-	var cells []cell
+	var scs []scenario
 	for _, fw := range []trace.Framework{trace.Hadoop, trace.Spark} {
 		for _, w := range []trace.Workload{trace.Facebook, trace.Bing} {
-			rs, err := cfg.runScenario(w, fw, b, 1, pols, nil)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, cell{rs})
+			scs = append(scs, scenario{w: w, fw: fw, b: b, dag: 1, policies: pols})
 		}
+	}
+	cells, err := cfg.runScenarios(scs)
+	if err != nil {
+		return nil, err
 	}
 	addRow := func(label string, filter func(sched.JobResult) bool) {
 		vals := make([]float64, 0, 8)
-		for _, c := range cells {
+		for _, rs := range cells {
 			vals = append(vals,
-				c.rs.improvement("late", "grass", metric, filter),
-				c.rs.improvement("mantri", "grass", metric, filter))
+				rs.improvement("late", "grass", metric, filter),
+				rs.improvement("mantri", "grass", metric, filter))
 		}
 		t.AddRow(label, vals...)
 	}
@@ -294,15 +350,18 @@ func Fig6Bounds(cfg Config) (*Table, error) {
 		Columns: []string{"Facebook", "Bing"},
 	}
 	pols := []policySpec{named("late"), named("grass")}
-	// (a) deadline factor bins.
-	var dl [2]runSet
-	for i, w := range []trace.Workload{trace.Facebook, trace.Bing} {
-		rs, err := cfg.runScenario(w, trace.Hadoop, trace.DeadlineBound, 1, pols, nil)
-		if err != nil {
-			return nil, err
-		}
-		dl[i] = rs
+	// One pool for all four scenarios: (a) deadline factor bins over both
+	// workloads, then (b) error bins over both.
+	sets, err := cfg.runScenarios([]scenario{
+		{w: trace.Facebook, fw: trace.Hadoop, b: trace.DeadlineBound, dag: 1, policies: pols},
+		{w: trace.Bing, fw: trace.Hadoop, b: trace.DeadlineBound, dag: 1, policies: pols},
+		{w: trace.Facebook, fw: trace.Hadoop, b: trace.ErrorBound, dag: 1, policies: pols},
+		{w: trace.Bing, fw: trace.Hadoop, b: trace.ErrorBound, dag: 1, policies: pols},
+	})
+	if err != nil {
+		return nil, err
 	}
+	dl := sets[:2]
 	for _, db := range metrics.DeadlineBins {
 		db := db
 		f := func(r sched.JobResult) bool {
@@ -314,14 +373,7 @@ func Fig6Bounds(cfg Config) (*Table, error) {
 			dl[1].improvement("late", "grass", metrics.AccuracyImprovementPct, f))
 	}
 	// (b) error bins.
-	var er [2]runSet
-	for i, w := range []trace.Workload{trace.Facebook, trace.Bing} {
-		rs, err := cfg.runScenario(w, trace.Hadoop, trace.ErrorBound, 1, pols, nil)
-		if err != nil {
-			return nil, err
-		}
-		er[i] = rs
-	}
+	er := sets[2:]
 	for _, eb := range metrics.ErrorBins {
 		eb := eb
 		f := func(r sched.JobResult) bool {
@@ -343,14 +395,14 @@ func Fig8Optimality(cfg Config) (*Table, error) {
 		Columns: []string{"GRASS dl", "Optimal dl", "GRASS err", "Optimal err"},
 	}
 	pols := []policySpec{named("late"), named("grass"), named("oracle")}
-	dl, err := cfg.runScenario(trace.Facebook, trace.Spark, trace.DeadlineBound, 1, pols, nil)
+	sets, err := cfg.runScenarios([]scenario{
+		{w: trace.Facebook, fw: trace.Spark, b: trace.DeadlineBound, dag: 1, policies: pols},
+		{w: trace.Facebook, fw: trace.Spark, b: trace.ErrorBound, dag: 1, policies: pols},
+	})
 	if err != nil {
 		return nil, err
 	}
-	er, err := cfg.runScenario(trace.Facebook, trace.Spark, trace.ErrorBound, 1, pols, nil)
-	if err != nil {
-		return nil, err
-	}
+	dl, er := sets[0], sets[1]
 	add := func(label string, filter func(sched.JobResult) bool) {
 		t.AddRow(label,
 			dl.improvement("late", "grass", metrics.AccuracyImprovementPct, filter),
@@ -372,18 +424,27 @@ func Fig9DAG(cfg Config) (*Table, error) {
 		Columns: []string{"FB deadline", "Bing deadline", "FB error", "Bing error"},
 	}
 	pols := []policySpec{named("late"), named("grass")}
+	var scs []scenario
 	for dag := 2; dag <= 6; dag++ {
-		row := make([]float64, 0, 4)
 		for _, b := range []trace.BoundMode{trace.DeadlineBound, trace.ErrorBound} {
 			for _, w := range []trace.Workload{trace.Facebook, trace.Bing} {
-				rs, err := cfg.runScenario(w, trace.Hadoop, b, dag, pols, nil)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, rs.improvement("late", "grass", boundMetric(b), nil))
+				scs = append(scs, scenario{w: w, fw: trace.Hadoop, b: b, dag: dag, policies: pols})
 			}
 		}
-		// Reorder to column layout (FB dl, Bing dl, FB err, Bing err).
+	}
+	sets, err := cfg.runScenarios(scs)
+	if err != nil {
+		return nil, err
+	}
+	for dag := 2; dag <= 6; dag++ {
+		// Scenario order is (dl FB, dl Bing, err FB, err Bing) per DAG
+		// length — already the column layout.
+		base := (dag - 2) * 4
+		row := make([]float64, 0, 4)
+		for i := 0; i < 4; i++ {
+			rs := sets[base+i]
+			row = append(row, rs.improvement("late", "grass", boundMetric(scs[base+i].b), nil))
+		}
 		t.AddRow(fmt.Sprintf("DAG=%d", dag), row[0], row[1], row[2], row[3])
 	}
 	return t, nil
@@ -401,13 +462,12 @@ func figSwitching(cfg Config, b trace.BoundMode, title string) (*Table, error) {
 	}
 	pols := []policySpec{named("late"), named("gs"), named("ras"), named("grass")}
 	metric := boundMetric(b)
-	var sets [2]runSet
-	for i, fw := range []trace.Framework{trace.Hadoop, trace.Spark} {
-		rs, err := cfg.runScenario(trace.Facebook, fw, b, 1, pols, nil)
-		if err != nil {
-			return nil, err
-		}
-		sets[i] = rs
+	sets, err := cfg.runScenarios([]scenario{
+		{w: trace.Facebook, fw: trace.Hadoop, b: b, dag: 1, policies: pols},
+		{w: trace.Facebook, fw: trace.Spark, b: b, dag: 1, policies: pols},
+	})
+	if err != nil {
+		return nil, err
 	}
 	add := func(label string, filter func(sched.JobResult) bool) {
 		vals := make([]float64, 0, 6)
@@ -446,14 +506,14 @@ func Fig12Strawman(cfg Config) (*Table, error) {
 		Columns: []string{"Strawman dl", "GRASS dl", "Strawman err", "GRASS err"},
 	}
 	pols := []policySpec{named("late"), named("grass-strawman"), named("grass")}
-	dl, err := cfg.runScenario(trace.Facebook, trace.Hadoop, trace.DeadlineBound, 1, pols, nil)
+	sets, err := cfg.runScenarios([]scenario{
+		{w: trace.Facebook, fw: trace.Hadoop, b: trace.DeadlineBound, dag: 1, policies: pols},
+		{w: trace.Facebook, fw: trace.Hadoop, b: trace.ErrorBound, dag: 1, policies: pols},
+	})
 	if err != nil {
 		return nil, err
 	}
-	er, err := cfg.runScenario(trace.Facebook, trace.Hadoop, trace.ErrorBound, 1, pols, nil)
-	if err != nil {
-		return nil, err
-	}
+	dl, er := sets[0], sets[1]
 	add := func(label string, filter func(sched.JobResult) bool) {
 		t.AddRow(label,
 			dl.improvement("late", "grass-strawman", metrics.AccuracyImprovementPct, filter),
@@ -483,13 +543,12 @@ func figFactors(cfg Config, b trace.BoundMode, title string) (*Table, error) {
 		named("grass-best2util"), named("grass-best2acc"), named("grass"),
 	}
 	metric := boundMetric(b)
-	var sets [2]runSet
-	for i, fw := range []trace.Framework{trace.Hadoop, trace.Spark} {
-		rs, err := cfg.runScenario(trace.Facebook, fw, b, 1, pols, nil)
-		if err != nil {
-			return nil, err
-		}
-		sets[i] = rs
+	sets, err := cfg.runScenarios([]scenario{
+		{w: trace.Facebook, fw: trace.Hadoop, b: b, dag: 1, policies: pols},
+		{w: trace.Facebook, fw: trace.Spark, b: b, dag: 1, policies: pols},
+	})
+	if err != nil {
+		return nil, err
 	}
 	add := func(label string, filter func(sched.JobResult) bool) {
 		vals := make([]float64, 0, 8)
@@ -529,18 +588,27 @@ func Fig15Perturbation(cfg Config) (*Table, error) {
 		Columns: []string{"FB deadline", "Bing deadline", "FB error", "Bing error"},
 	}
 	xis := []float64{0, 0.05, 0.10, 0.15, 0.20}
-	for _, xi := range xis {
+	var scs []scenario
+	grassNames := make([]string, len(xis))
+	for xi1, xi := range xis {
 		g := grassWithXi(xi)
+		grassNames[xi1] = g.name
 		pols := []policySpec{named("late"), g}
-		row := make([]float64, 0, 4)
 		for _, b := range []trace.BoundMode{trace.DeadlineBound, trace.ErrorBound} {
 			for _, w := range []trace.Workload{trace.Facebook, trace.Bing} {
-				rs, err := cfg.runScenario(w, trace.Hadoop, b, 1, pols, nil)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, rs.improvement("late", g.name, boundMetric(b), nil))
+				scs = append(scs, scenario{w: w, fw: trace.Hadoop, b: b, dag: 1, policies: pols})
 			}
+		}
+	}
+	sets, err := cfg.runScenarios(scs)
+	if err != nil {
+		return nil, err
+	}
+	for xi1, xi := range xis {
+		base := xi1 * 4
+		row := make([]float64, 0, 4)
+		for i := 0; i < 4; i++ {
+			row = append(row, sets[base+i].improvement("late", grassNames[xi1], boundMetric(scs[base+i].b), nil))
 		}
 		t.AddRow(fmt.Sprintf("xi=%.0f%%", xi*100), row[0], row[1], row[2], row[3])
 	}
@@ -556,14 +624,19 @@ func ExactJobs(cfg Config) (*Table, error) {
 		Columns: []string{"vs LATE", "vs Mantri"},
 	}
 	pols := []policySpec{named("late"), named("mantri"), named("grass")}
-	for _, w := range []trace.Workload{trace.Facebook, trace.Bing} {
-		rs, err := cfg.runScenario(w, trace.Hadoop, trace.ExactBound, 1, pols, nil)
-		if err != nil {
-			return nil, err
-		}
+	workloads := []trace.Workload{trace.Facebook, trace.Bing}
+	var scs []scenario
+	for _, w := range workloads {
+		scs = append(scs, scenario{w: w, fw: trace.Hadoop, b: trace.ExactBound, dag: 1, policies: pols})
+	}
+	sets, err := cfg.runScenarios(scs)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range workloads {
 		t.AddRow(w.String(),
-			rs.improvement("late", "grass", metrics.SpeedupPct, nil),
-			rs.improvement("mantri", "grass", metrics.SpeedupPct, nil))
+			sets[i].improvement("late", "grass", metrics.SpeedupPct, nil),
+			sets[i].improvement("mantri", "grass", metrics.SpeedupPct, nil))
 	}
 	return t, nil
 }
@@ -595,22 +668,21 @@ func AblationTail(cfg Config) (*Table, error) {
 		Columns: []string{"speedup"},
 	}
 	pols := []policySpec{named("nospec"), named("ras")}
-	rs, err := cfg.runScenario(trace.Facebook, trace.Hadoop, trace.ExactBound, 1, pols, nil)
+	sets, err := cfg.runScenarios([]scenario{
+		{w: trace.Facebook, fw: trace.Hadoop, b: trace.ExactBound, dag: 1, policies: pols},
+		{w: trace.Facebook, fw: trace.Hadoop, b: trace.ExactBound, dag: 1, policies: pols,
+			mutate: func(s *sched.Config) {
+				// Nearly tail-free: rare, mild stragglers.
+				s.TailFrac = 0.02
+				s.DurationBeta = 4
+				s.DurationCap = 4
+			}},
+	})
 	if err != nil {
 		return nil, err
 	}
-	t.AddRow("heavy tail (default)", rs.improvement("nospec", "ras", metrics.SpeedupPct, nil))
-	light, err := cfg.runScenario(trace.Facebook, trace.Hadoop, trace.ExactBound, 1, pols,
-		func(s *sched.Config) {
-			// Nearly tail-free: rare, mild stragglers.
-			s.TailFrac = 0.02
-			s.DurationBeta = 4
-			s.DurationCap = 4
-		})
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("light tail", light.improvement("nospec", "ras", metrics.SpeedupPct, nil))
+	t.AddRow("heavy tail (default)", sets[0].improvement("nospec", "ras", metrics.SpeedupPct, nil))
+	t.AddRow("light tail", sets[1].improvement("nospec", "ras", metrics.SpeedupPct, nil))
 	return t, nil
 }
 
@@ -623,20 +695,19 @@ func AblationEstimation(cfg Config) (*Table, error) {
 		Columns: []string{"gain"},
 	}
 	pols := []policySpec{named("late"), named("grass")}
-	rs, err := cfg.runScenario(trace.Facebook, trace.Hadoop, trace.DeadlineBound, 1, pols, nil)
+	sets, err := cfg.runScenarios([]scenario{
+		{w: trace.Facebook, fw: trace.Hadoop, b: trace.DeadlineBound, dag: 1, policies: pols},
+		{w: trace.Facebook, fw: trace.Hadoop, b: trace.DeadlineBound, dag: 1, policies: pols,
+			mutate: func(s *sched.Config) {
+				s.Estimator.TRemNoise = 0
+				s.Estimator.TNewNoise = 0
+			}},
+	})
 	if err != nil {
 		return nil, err
 	}
-	t.AddRow("default noise", rs.improvement("late", "grass", metrics.AccuracyImprovementPct, nil))
-	clean, err := cfg.runScenario(trace.Facebook, trace.Hadoop, trace.DeadlineBound, 1, pols,
-		func(s *sched.Config) {
-			s.Estimator.TRemNoise = 0
-			s.Estimator.TNewNoise = 0
-		})
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("perfect estimates", clean.improvement("late", "grass", metrics.AccuracyImprovementPct, nil))
+	t.AddRow("default noise", sets[0].improvement("late", "grass", metrics.AccuracyImprovementPct, nil))
+	t.AddRow("perfect estimates", sets[1].improvement("late", "grass", metrics.AccuracyImprovementPct, nil))
 	return t, nil
 }
 

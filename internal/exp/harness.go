@@ -12,7 +12,6 @@ import (
 	"strings"
 
 	"github.com/approx-analytics/grass/internal/core"
-	"github.com/approx-analytics/grass/internal/metrics"
 	"github.com/approx-analytics/grass/internal/oracle"
 	"github.com/approx-analytics/grass/internal/sched"
 	"github.com/approx-analytics/grass/internal/spec"
@@ -36,6 +35,10 @@ type Config struct {
 	// ErrorLoad is the offered load for error-bound/exact traces, which
 	// must complete their work and therefore need spare capacity.
 	ErrorLoad float64
+	// Workers bounds how many (policy, seed) simulations a runner executes
+	// concurrently; 0 means one per available core. Every run seeds its own
+	// dist.NewRNG tree, so results are byte-identical for any worker count.
+	Workers int
 }
 
 // Default returns the full-size configuration used for EXPERIMENTS.md.
@@ -162,29 +165,19 @@ func (c Config) Run(w trace.Workload, fw trace.Framework, b trace.BoundMode, pol
 
 // Improvement runs base and treat policies over the config's seeds on
 // identical traces and returns the median improvement percentage computed by
-// metric on each paired run, optionally restricted by filter.
+// metric on each paired run, optionally restricted by filter. The paired
+// simulations fan out over the config's worker pool; results land in
+// per-run slots so the median is identical for any worker count.
 func (c Config) Improvement(w trace.Workload, fw trace.Framework, b trace.BoundMode,
 	base, treat string, dagLen int,
 	filter func(sched.JobResult) bool,
 	metric func(base, treat []sched.JobResult) float64) (float64, error) {
 
-	vals := make([]float64, 0, len(c.Seeds))
-	for _, seed := range c.Seeds {
-		br, err := c.Run(w, fw, b, base, seed, dagLen)
-		if err != nil {
-			return 0, err
-		}
-		tr, err := c.Run(w, fw, b, treat, seed, dagLen)
-		if err != nil {
-			return 0, err
-		}
-		if filter != nil {
-			br = filterResults(br, filter)
-			tr = filterResults(tr, filter)
-		}
-		vals = append(vals, metric(br, tr))
+	rs, err := c.runScenario(w, fw, b, dagLen, []policySpec{named(base), named(treat)}, nil)
+	if err != nil {
+		return 0, err
 	}
-	return metrics.MedianOfRuns(vals), nil
+	return rs.improvement(base, treat, metric, filter), nil
 }
 
 func filterResults(rs []sched.JobResult, keep func(sched.JobResult) bool) []sched.JobResult {

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers resolves the configured parallelism: Workers if positive,
+// otherwise every available core.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(0..n-1) over a bounded worker pool and returns the error
+// of the lowest failing index.
+//
+// Determinism contract: fn(i) must derive all of its randomness from its
+// own index/seed (every simulation builds a fresh dist.NewRNG tree from its
+// run seed) and publish results only into slot i of a pre-sized slice. Then
+// the harness output is byte-identical for any worker count — including 1 —
+// and the error, if any, is the one a serial loop would have hit first.
+func forEach(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	// lowestFailed lets workers skip doomed work: once index i has failed,
+	// no index above it can become the returned error, so higher indices
+	// are abandoned (their error slot stays nil, which is fine — the scan
+	// below returns the lowest non-nil slot). Indices below a failure must
+	// still run: one of them may fail too and take precedence.
+	var lowestFailed atomic.Int64
+	lowestFailed.Store(int64(n))
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if int64(i) > lowestFailed.Load() {
+					continue
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					for {
+						cur := lowestFailed.Load()
+						if int64(i) >= cur || lowestFailed.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -6,8 +6,8 @@ package metrics
 
 import (
 	"fmt"
-	"sort"
 
+	"github.com/approx-analytics/grass/internal/dist"
 	"github.com/approx-analytics/grass/internal/sched"
 	"github.com/approx-analytics/grass/internal/task"
 )
@@ -144,14 +144,5 @@ func PairByJob(a, b []sched.JobResult) (pa, pb []sched.JobResult) {
 // matching §6.1 ("each experiment is repeated five times and we pick the
 // median").
 func MedianOfRuns(vals []float64) float64 {
-	if len(vals) == 0 {
-		return 0
-	}
-	s := append([]float64(nil), vals...)
-	sort.Float64s(s)
-	n := len(s)
-	if n%2 == 1 {
-		return s[n/2]
-	}
-	return (s[n/2-1] + s[n/2]) / 2
+	return dist.Median(vals)
 }
