@@ -7,6 +7,12 @@
 // regenerates Figure 5. Benchmark metrics report the headline number of
 // each experiment (improvement %, ratio, …) so `go test -bench=.` doubles
 // as a results summary; cmd/grass-bench prints the full tables.
+//
+// These are *result* benchmarks. The *performance* benchmarks of the
+// simulator's dispatch hot path (BenchmarkSimulatorQuick, BenchmarkDispatch,
+// BenchmarkBuildViews) live in internal/sched; their per-event numbers are
+// tracked across PRs in BENCH_sim.json, and `grass-bench -profile <prefix>`
+// writes pprof profiles for digging into regressions.
 package grass_test
 
 import (

@@ -1,28 +1,41 @@
 // Command grass-bench regenerates the paper's tables and figures:
 //
-//	grass-bench            # every experiment at the quick size
-//	grass-bench -full      # full size (EXPERIMENTS.md numbers)
-//	grass-bench -fig fig5  # one experiment
-//	grass-bench -list      # available experiment IDs
+//	grass-bench                # every experiment at the quick size
+//	grass-bench -full          # full size (EXPERIMENTS.md numbers)
+//	grass-bench -fig fig5      # one experiment
+//	grass-bench -list          # available experiment IDs
+//	grass-bench -profile perf  # also write perf.cpu.prof / perf.mem.prof
 //
 // Output is plain-text tables with the same rows/series the paper plots.
+// With -profile, CPU samples cover the experiment runs and a heap profile is
+// written at exit — `go tool pprof perf.cpu.prof` then points at the
+// simulator's hot path.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/approx-analytics/grass/internal/exp"
 )
 
+// main delegates to run so deferred cleanup (profile finalization) executes
+// on every exit path; os.Exit here would skip it.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		fig     = flag.String("fig", "", "run one experiment by ID (see -list)")
 		full    = flag.Bool("full", false, "full-size runs (slower; EXPERIMENTS.md numbers)")
 		list    = flag.Bool("list", false, "list experiment IDs")
 		workers = flag.Int("workers", 0, "concurrent simulations per experiment (0 = all cores); results are identical for any value")
+		profile = flag.String("profile", "", "write <prefix>.cpu.prof and <prefix>.mem.prof covering the experiment runs")
 	)
 	flag.Parse()
 
@@ -30,7 +43,34 @@ func main() {
 		for _, e := range exp.All() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Desc)
 		}
-		return
+		return 0
+	}
+	if *profile != "" {
+		cpu, err := os.Create(*profile + ".cpu.prof")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grass-bench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			fmt.Fprintf(os.Stderr, "grass-bench: %v\n", err)
+			return 1
+		}
+		// Finalize both profiles even when an experiment fails: a profile of
+		// the run that errored is exactly what the debugging session needs.
+		defer func() {
+			pprof.StopCPUProfile()
+			cpu.Close()
+			mem, err := os.Create(*profile + ".mem.prof")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "grass-bench: %v\n", err)
+				return
+			}
+			defer mem.Close()
+			runtime.GC() // materialize accurate live-heap stats
+			if err := pprof.WriteHeapProfile(mem); err != nil {
+				fmt.Fprintf(os.Stderr, "grass-bench: %v\n", err)
+			}
+		}()
 	}
 	cfg := exp.Quick()
 	if *full {
@@ -47,13 +87,14 @@ func main() {
 		t, err := e.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "grass-bench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			return 1
 		}
 		t.Render(os.Stdout)
 		fmt.Printf("[%s took %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "grass-bench: unknown experiment %q (try -list)\n", *fig)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -52,6 +52,12 @@ type Factory struct {
 	learner *Learner
 	rng     *dist.RNG
 	stats   Stats
+
+	// gs/ras are templates whose selection buffers every per-job policy
+	// shares: a factory serves one scheduler goroutine, and the buffers live
+	// only within a single Pick call.
+	gs  spec.GS
+	ras spec.RAS
 }
 
 // Stats counts policy decisions across a factory's jobs (diagnostics).
@@ -79,6 +85,8 @@ func New(cfg Config) (*Factory, error) {
 		cfg:     cfg,
 		learner: NewLearner(cfg.Factors),
 		rng:     dist.NewRNG(cfg.Seed),
+		gs:      spec.NewGS(),
+		ras:     spec.NewRAS(),
 	}, nil
 }
 
@@ -114,6 +122,8 @@ func (f *Factory) NewPolicy(jobID, numTasks int) spec.Policy {
 		f:        f,
 		numTasks: numTasks,
 		bin:      task.BinOf(numTasks),
+		gs:       f.gs,
+		ras:      f.ras,
 	}
 	if !f.cfg.Strawman && f.rng.Float64() < f.cfg.Xi {
 		p.sampled = true

@@ -59,10 +59,10 @@ type Estimator struct {
 
 	// Ring buffer of normalized completed-task durations (eviction order)
 	// plus a sorted mirror for O(log n + n) median maintenance.
-	window []float64
-	sorted []float64
-	next   int
-	filled bool
+	window  []float64
+	sorted  []float64
+	next    int
+	version uint64
 
 	tremAccSum float64
 	tremN      int
@@ -170,10 +170,14 @@ func (e *Estimator) ObserveCompletion(normalizedDuration float64) {
 		e.sortedRemove(e.window[e.next])
 		e.window[e.next] = normalizedDuration
 		e.next = (e.next + 1) % cap(e.window)
-		e.filled = true
 	}
 	e.sortedInsert(normalizedDuration)
+	e.version++
 }
+
+// Version increments whenever the t_new empirical base changes; callers may
+// cache values derived from NormalizedMedian until it moves.
+func (e *Estimator) Version() uint64 { return e.version }
 
 func (e *Estimator) sortedInsert(v float64) {
 	i := sort.SearchFloat64s(e.sorted, v)
@@ -182,11 +186,15 @@ func (e *Estimator) sortedInsert(v float64) {
 	e.sorted[i] = v
 }
 
+// sortedRemove deletes one instance of v from the sorted mirror. A missing
+// value means the mirror has diverged from the ring buffer — every later
+// median would be silently wrong — so it panics instead of no-oping.
 func (e *Estimator) sortedRemove(v float64) {
 	i := sort.SearchFloat64s(e.sorted, v)
-	if i < len(e.sorted) && e.sorted[i] == v {
-		e.sorted = append(e.sorted[:i], e.sorted[i+1:]...)
+	if i >= len(e.sorted) || e.sorted[i] != v {
+		panic(fmt.Sprintf("estimate: sorted mirror diverged from window: %v not found among %d values", v, len(e.sorted)))
 	}
+	e.sorted = append(e.sorted[:i], e.sorted[i+1:]...)
 }
 
 // Completions returns how many samples currently inform t_new.

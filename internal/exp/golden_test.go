@@ -17,9 +17,17 @@ import (
 // shifts them past it, that refactor changed simulation behaviour and must
 // say so explicitly (regenerate with
 // `go test -run TestGoldenHeadlineMetrics -v` and copy the logged values).
+//
+// History of deliberate regenerations:
+//   - PR 2: the LATE percentile-boundary/stalled-sentinel bugfix changed the
+//     LATE baseline's speculation decisions (it no longer speculates healthy
+//     tasks whose progress rates tie at the threshold), which moves both
+//     GRASS-vs-LATE headline numbers. GS/RAS/GRASS/Mantri/NoSpec/oracle
+//     results were verified hash-identical across the PR 2 dispatch-path
+//     refactor; only the LATE change shifted these values.
 const (
-	goldenDeadlineAccImprovementPct = 12.794917867489
-	goldenErrorSpeedupPct           = 12.429747164631
+	goldenDeadlineAccImprovementPct = 11.933948419674
+	goldenErrorSpeedupPct           = 15.873170564905
 	goldenTolerance                 = 1e-6
 )
 

@@ -91,9 +91,9 @@ func NewFactory(name string, seed int64) (spec.Factory, bool, error) {
 		c.Factors = core.FactorSet{Accuracy: true}
 		return mk(c)
 	case "gs":
-		return spec.Stateless(spec.GS{}), false, nil
+		return spec.Stateless(spec.NewGS()), false, nil
 	case "ras":
-		return spec.Stateless(spec.RAS{}), false, nil
+		return spec.Stateless(spec.NewRAS()), false, nil
 	case "late":
 		return spec.Stateless(spec.NewLATE()), false, nil
 	case "mantri":

@@ -1,0 +1,147 @@
+package sched
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/approx-analytics/grass/internal/cluster"
+	"github.com/approx-analytics/grass/internal/estimate"
+	"github.com/approx-analytics/grass/internal/spec"
+	"github.com/approx-analytics/grass/internal/task"
+)
+
+// benchConfig is the cluster used by the dispatch benchmarks: big enough for
+// real multi-job fair sharing, small enough that one full simulation is a
+// sensible benchmark iteration.
+func benchConfig(seed int64) Config {
+	return Config{
+		Cluster:          cluster.Config{Machines: 40, SlotsPerMachine: 2, HeterogeneitySigma: 0.2},
+		Estimator:        estimate.Config{TRemNoise: 0.4, TNewNoise: 0.15, Prior: 1},
+		DurationBeta:     1.259,
+		DurationCap:      30,
+		TailFrac:         0.25,
+		TailStart:        1.5,
+		IntermediateBeta: 2.5,
+		MinSpecProgress:  0.15,
+		Seed:             seed,
+	}
+}
+
+// benchJobs builds a deterministic mixed workload: overlapping jobs of
+// varying size under all three bound kinds, so the dispatch path sees the
+// multi-job share computation, speculation, deadlines and early exits.
+func benchJobs(n int) []*task.Job {
+	jobs := make([]*task.Job, 0, n)
+	for i := 0; i < n; i++ {
+		size := 20 + (i%8)*25
+		var bound task.Bound
+		switch i % 3 {
+		case 0:
+			bound = task.Exact()
+		case 1:
+			bound = task.NewError(0.1)
+		default:
+			bound = task.NewDeadline(25)
+		}
+		jobs = append(jobs, uniformJob(i, size, bound, float64(i)*2.5))
+	}
+	return jobs
+}
+
+// runSimBench runs full simulations of the bench workload under one policy
+// and reports per-event wall clock and per-event heap allocations — the two
+// numbers BENCH_sim.json tracks across PRs.
+func runSimBench(b *testing.B, factory func() spec.Factory) {
+	b.Helper()
+	jobs := benchJobs(60)
+	var events, allocs uint64
+	var nanos int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := New(benchConfig(1), factory())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		b.StartTimer()
+		t0 := time.Now()
+		stats, err := s.Run(jobs)
+		nanos += time.Since(t0).Nanoseconds()
+		b.StopTimer()
+		runtime.ReadMemStats(&m1)
+		b.StartTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += stats.Events
+		allocs += m1.Mallocs - m0.Mallocs
+	}
+	if events > 0 {
+		b.ReportMetric(float64(allocs)/float64(events), "allocs/event")
+		b.ReportMetric(float64(nanos)/float64(events), "ns/event")
+	}
+}
+
+// BenchmarkSimulatorQuick is the macro benchmark of the dispatch hot path:
+// one iteration simulates the full mixed workload end to end. The policy
+// sub-benchmarks cover the paper's main contenders; "late" additionally
+// exercises the percentile machinery of the LATE baseline.
+func BenchmarkSimulatorQuick(b *testing.B) {
+	b.Run("gs", func(b *testing.B) {
+		runSimBench(b, func() spec.Factory { return spec.Stateless(spec.NewGS()) })
+	})
+	b.Run("ras", func(b *testing.B) {
+		runSimBench(b, func() spec.Factory { return spec.Stateless(spec.NewRAS()) })
+	})
+	b.Run("late", func(b *testing.B) {
+		runSimBench(b, func() spec.Factory { return spec.Stateless(spec.NewLATE()) })
+	})
+}
+
+// BenchmarkDispatch is the micro benchmark of one dispatch round: the cluster
+// is saturated by evenly matched jobs, so dispatch computes the fair-share
+// table and scans for an underserved job but launches nothing — isolating
+// the bookkeeping this PR makes incremental and allocation-free.
+func BenchmarkDispatch(b *testing.B) {
+	for _, njobs := range []int{4, 16, 64} {
+		b.Run(map[int]string{4: "jobs=4", 16: "jobs=16", 64: "jobs=64"}[njobs], func(b *testing.B) {
+			s, err := New(benchConfig(1), spec.Stateless(spec.NoSpec{}))
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Admit njobs oversized jobs at t=0: the launch loop inside admit
+			// saturates the cluster and every job ends at exactly its share.
+			for i := 0; i < njobs; i++ {
+				s.admit(uniformJob(i, 400, task.Exact(), 0))
+			}
+			if s.cl.FreeSlots() != 0 {
+				b.Fatalf("cluster not saturated: %d free", s.cl.FreeSlots())
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.dispatch()
+			}
+		})
+	}
+}
+
+// BenchmarkBuildViews measures the per-launch-attempt TaskView construction
+// for one mid-flight job with many running copies.
+func BenchmarkBuildViews(b *testing.B) {
+	s, err := New(benchConfig(1), spec.Stateless(spec.NoSpec{}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.admit(uniformJob(0, 300, task.Exact(), 0))
+	js := s.active[0]
+	ctx := s.buildCtx(js)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.buildViews(js, ctx)
+	}
+}

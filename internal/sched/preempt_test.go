@@ -1,11 +1,36 @@
 package sched
 
 import (
+	"math"
 	"testing"
 
+	"github.com/approx-analytics/grass/internal/simevent"
 	"github.com/approx-analytics/grass/internal/spec"
 	"github.com/approx-analytics/grass/internal/task"
 )
+
+// saturatedSim admits one big NoSpec job at t=0 that fills every slot, and
+// returns the simulator, the job, and the earliest completion time of any
+// running copy — probes scheduled before that time see no other events.
+func saturatedSim(t *testing.T, seed int64, tasks int) (*Simulator, *jobState, float64) {
+	t.Helper()
+	s, err := New(smallConfig(seed), spec.Stateless(spec.NoSpec{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.admit(uniformJob(0, tasks, task.Exact(), 0))
+	if s.cl.FreeSlots() != 0 {
+		t.Fatalf("cluster not saturated: %d free", s.cl.FreeSlots())
+	}
+	js := s.active[0]
+	minEnd := math.Inf(1)
+	for _, tr := range js.phase.tasks {
+		if len(tr.copies) > 0 && tr.bestEnd < minEnd {
+			minEnd = tr.bestEnd
+		}
+	}
+	return s, js, minEnd
+}
 
 // TestPreemptionProtectsArrivingJob: a small job arriving into a saturated
 // cluster must take its fair share immediately via preemption rather than
@@ -70,12 +95,15 @@ func TestWaterfillShares(t *testing.T) {
 	big1 := mk(1, 100)
 	big2 := mk(2, 100)
 	s.active = []*jobState{small, big1, big2}
-	shares := s.waterfillShares()
-	if shares[small] != 4 {
-		t.Fatalf("small job share %d, want its full demand 4", shares[small])
+	for _, js := range s.active {
+		s.insertDemand(js)
 	}
-	if shares[big1] != 8 || shares[big2] != 8 {
-		t.Fatalf("big shares %d/%d, want 8/8 (leftover split)", shares[big1], shares[big2])
+	s.refreshShares()
+	if small.share != 4 {
+		t.Fatalf("small job share %d, want its full demand 4", small.share)
+	}
+	if big1.share != 8 || big2.share != 8 {
+		t.Fatalf("big shares %d/%d, want 8/8 (leftover split)", big1.share, big2.share)
 	}
 }
 
@@ -89,8 +117,10 @@ func TestWaterfillSharesUnderDemand(t *testing.T) {
 	j := uniformJob(0, 7, task.Exact(), 0)
 	js := &jobState{job: j, phase: s.newInputPhase(j)}
 	s.active = []*jobState{js}
-	if got := s.waterfillShares()[js]; got != 7 {
-		t.Fatalf("share %d, want 7", got)
+	s.insertDemand(js)
+	s.refreshShares()
+	if js.share != 7 {
+		t.Fatalf("share %d, want 7", js.share)
 	}
 }
 
@@ -114,6 +144,164 @@ func TestPreemptionConservesSlots(t *testing.T) {
 	// sane utilization proves conservation.
 	if stats.MeanUtilization <= 0 || stats.MeanUtilization > 1 {
 		t.Fatalf("utilization %v", stats.MeanUtilization)
+	}
+}
+
+// TestFirstStartResetAfterPreemption: when preemptYoungest removes a task's
+// only copy, a later relaunch must reset firstStart to the relaunch time —
+// otherwise Elapsed views and the straggler span would count time the task
+// spent sitting in the unscheduled pool.
+func TestFirstStartResetAfterPreemption(t *testing.T) {
+	s, js, minEnd := saturatedSim(t, 51, 40)
+	probe := minEnd / 2
+	s.eng.At(probe, func(*simevent.Engine) {
+		hadCopy := make(map[*taskRun]bool)
+		for _, tr := range js.phase.tasks {
+			hadCopy[tr] = len(tr.copies) == 1
+		}
+		if !s.preemptYoungest(js) {
+			t.Fatal("preemptYoungest found nothing to kill")
+		}
+		var victim *taskRun
+		for _, tr := range js.phase.tasks {
+			if hadCopy[tr] && len(tr.copies) == 0 {
+				victim = tr
+				break
+			}
+		}
+		if victim == nil {
+			t.Fatal("no task was emptied by preemption")
+		}
+		if victim.firstStart != 0 {
+			t.Fatalf("victim firstStart %v before relaunch, want its original 0", victim.firstStart)
+		}
+		// NoSpec relaunches the lowest-index unscheduled task — the victim,
+		// whose index precedes every never-launched task.
+		s.dispatch()
+		if len(victim.copies) != 1 {
+			t.Fatalf("victim not relaunched: %d copies", len(victim.copies))
+		}
+		if victim.firstStart != probe {
+			t.Fatalf("victim firstStart %v after relaunch at %v; stale spans poison Elapsed views", victim.firstStart, probe)
+		}
+		if victim.best == nil || victim.best != victim.copies[0] {
+			t.Fatal("best-copy cache not rebuilt on relaunch")
+		}
+	})
+	s.eng.RunUntil(probe)
+}
+
+// TestUtilizationIntegralAcrossPreemption pins the utilization integral
+// through a preempt + relaunch cycle with hand-computable utilization: full
+// until the preemption, 19/20 while the slot sits free, full again after the
+// relaunch. A missing noteUtil before any of the occupancy changes shifts
+// the integral.
+func TestUtilizationIntegralAcrossPreemption(t *testing.T) {
+	s, js, minEnd := saturatedSim(t, 52, 40)
+	p1, p2, p3 := minEnd/4, minEnd/2, 3*minEnd/4
+	slots := float64(s.cl.TotalSlots())
+	const eps = 1e-12
+	s.eng.At(p1, func(*simevent.Engine) {
+		if !s.preemptYoungest(js) {
+			t.Fatal("nothing to preempt")
+		}
+		if got, want := s.utilIntegral, p1; math.Abs(got-want) > eps {
+			t.Fatalf("integral %v at preemption, want %v (full cluster since t=0)", got, want)
+		}
+	})
+	s.eng.At(p2, func(*simevent.Engine) {
+		s.noteUtil()
+		want := p1 + (p2-p1)*(slots-1)/slots
+		if got := s.utilIntegral; math.Abs(got-want) > eps {
+			t.Fatalf("integral %v with one slot free, want %v", got, want)
+		}
+		s.dispatch() // refill the slot
+		if s.cl.FreeSlots() != 0 {
+			t.Fatalf("dispatch left %d slots free", s.cl.FreeSlots())
+		}
+	})
+	s.eng.At(p3, func(*simevent.Engine) {
+		s.noteUtil()
+		want := p1 + (p2-p1)*(slots-1)/slots + (p3 - p2)
+		if got := s.utilIntegral; math.Abs(got-want) > eps {
+			t.Fatalf("integral %v after relaunch, want %v", got, want)
+		}
+	})
+	s.eng.RunUntil(p3)
+}
+
+// TestPreemptForFairnessTerminates drives preemptForFairness directly
+// through its claim/victim loop shapes: a genuine rebalance must converge to
+// the assigned shares, an all-claimant (no victim) state and an all-victim
+// (no claimant) state must return immediately, and a claimant whose policy
+// declines must stop after a single preemption rather than churn the victim.
+func TestPreemptForFairnessTerminates(t *testing.T) {
+	s, err := New(smallConfig(53), spec.Stateless(spec.NoSpec{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.admit(uniformJob(0, 40, task.Exact(), 0)) // takes all 20 slots
+	s.admit(uniformJob(1, 40, task.Exact(), 0)) // preempts its way to 10/10
+	a, b := s.active[0], s.active[1]
+	if a.running != 10 || b.running != 10 {
+		t.Fatalf("admission rebalance gave %d/%d, want 10/10", a.running, b.running)
+	}
+	if a.res.Preempted != 10 {
+		t.Fatalf("job 0 lost %d copies, want 10", a.res.Preempted)
+	}
+	// Skewed shares: a claims 5 more, b is 5 over. The loop must alternate
+	// preempt(b) / launch(a) exactly five times and stop.
+	a.declined, b.declined = false, false
+	a.share, b.share = 15, 5
+	s.preemptForFairness()
+	if a.running != 15 || b.running != 5 {
+		t.Fatalf("rebalance gave %d/%d, want 15/5", a.running, b.running)
+	}
+	// Both under-share: no victim exists; must return without preempting.
+	before := a.res.Preempted + b.res.Preempted
+	a.share, b.share = 20, 20
+	s.preemptForFairness()
+	if got := a.res.Preempted + b.res.Preempted; got != before {
+		t.Fatalf("preempted %d copies with no over-share victim", got-before)
+	}
+	// Both over-share: no claimant exists; must return without preempting.
+	a.share, b.share = 0, 0
+	s.preemptForFairness()
+	if got := a.res.Preempted + b.res.Preempted; got != before {
+		t.Fatalf("preempted %d copies with no claimant", got-before)
+	}
+}
+
+// TestPreemptForFairnessDecliningClaimant: when the claimant's policy finds
+// nothing to launch, the loop must stop after freeing a single slot instead
+// of killing more of the victim's work.
+func TestPreemptForFairnessDecliningClaimant(t *testing.T) {
+	s, err := New(smallConfig(54), spec.Stateless(spec.NoSpec{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 0: 10 tasks, all running after admission (its waterfill share).
+	s.admit(uniformJob(0, 10, task.Exact(), 0))
+	// Job 1: takes the remaining 10 slots.
+	s.admit(uniformJob(1, 40, task.Exact(), 0))
+	a, b := s.active[0], s.active[1]
+	if a.running != 10 || b.running != 10 {
+		t.Fatalf("setup gave %d/%d running, want 10/10", a.running, b.running)
+	}
+	// a "claims" more than its task count can use: every task already runs,
+	// so NoSpec declines. b is the victim; exactly one copy may die.
+	a.declined, b.declined = false, false
+	a.share, b.share = 12, 8
+	before := b.res.Preempted
+	s.preemptForFairness()
+	if got := b.res.Preempted - before; got != 1 {
+		t.Fatalf("victim lost %d copies to a declining claimant, want exactly 1", got)
+	}
+	if !a.declined {
+		t.Fatal("claimant not marked declined")
+	}
+	if s.cl.FreeSlots() != 1 {
+		t.Fatalf("%d slots free, want the 1 freed slot left for the next event", s.cl.FreeSlots())
 	}
 }
 

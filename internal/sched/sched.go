@@ -105,10 +105,13 @@ func (c Config) Validate() error {
 	if c.DurationCap <= 1 {
 		return fmt.Errorf("sched: duration cap %v must exceed 1 (median multiples)", c.DurationCap)
 	}
-	if c.TailFrac <= 0 || c.TailFrac > 1 {
+	if math.IsNaN(c.TailFrac) || c.TailFrac <= 0 || c.TailFrac > 1 {
 		return fmt.Errorf("sched: tail fraction %v out of (0, 1]", c.TailFrac)
 	}
-	if c.TailFrac < 1 && c.TailStart <= 1 {
+	// The intermediate-phase distribution always halves TailFrac into a
+	// body-tail mixture, so TailStart must be sane even when TailFrac == 1
+	// selects a pure Pareto for input tasks.
+	if math.IsNaN(c.TailStart) || c.TailStart <= 1 {
 		return fmt.Errorf("sched: tail start %v must exceed the median (1)", c.TailStart)
 	}
 	if c.IntermediateBeta <= 0 {

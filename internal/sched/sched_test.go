@@ -68,6 +68,39 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
+// TestTailConfigValidation pins the intermediate-tail fixes: NaN tail
+// parameters must not slip through the range checks (NaN compares false
+// against every bound), and TailStart must be validated even when
+// TailFrac == 1, because the intermediate-phase distribution always halves
+// TailFrac into a body-tail mixture that uses TailStart. The old code
+// accepted both configs and either simulated garbage or failed later inside
+// dist with a misleading error.
+func TestTailConfigValidation(t *testing.T) {
+	bad := smallConfig(1)
+	bad.TailFrac = math.NaN()
+	if bad.Validate() == nil {
+		t.Error("NaN tail fraction accepted")
+	}
+	bad = smallConfig(1)
+	bad.TailStart = math.NaN()
+	if bad.Validate() == nil {
+		t.Error("NaN tail start accepted")
+	}
+	bad = smallConfig(1)
+	bad.TailFrac = 1
+	bad.TailStart = 1
+	if bad.Validate() == nil {
+		t.Error("TailFrac=1 with TailStart<=1 accepted; the intermediate distribution needs a valid tail start")
+	}
+	// A pure-Pareto input tail with a sane TailStart stays valid end to end:
+	// the halved intermediate tail (0.5) must build a working mixture.
+	ok := smallConfig(1)
+	ok.TailFrac = 1
+	if _, err := New(ok, spec.Stateless(spec.NewGS())); err != nil {
+		t.Errorf("TailFrac=1 with default TailStart rejected: %v", err)
+	}
+}
+
 func TestDefaultConfigValid(t *testing.T) {
 	if err := DefaultConfig().Validate(); err != nil {
 		t.Fatal(err)

@@ -20,7 +20,10 @@ type pend struct {
 	at  float64
 }
 
-// copyRun is one executing copy of a task.
+// copyRun is one executing copy of a task. Instances are recycled through
+// the simulator's free list: a copy dies (completes, is killed or is
+// preempted) strictly before its slot is reused, so the dispatch hot path
+// launches without allocating.
 type copyRun struct {
 	machineID   int
 	start       float64
@@ -29,7 +32,19 @@ type copyRun struct {
 	ev          *simevent.Event
 	estTNew     float64 // t_new estimate at launch, 0 when not recorded
 	tremBias    float64 // persistent estimation error of this copy's t_rem
-	pendTRem    []pend
+
+	// pendTRem holds up to 4 outstanding t_rem estimates awaiting scoring;
+	// inline storage avoids a heap slice per copy.
+	pendTRem [4]pend
+	pendN    int
+
+	// js/task identify the copy's owner so fn — the completion callback
+	// handed to the event engine — can be built once per pooled instance and
+	// reused across recycles instead of allocating a fresh closure per
+	// launch.
+	js   *jobState
+	task *taskRun
+	fn   func(*simevent.Engine)
 }
 
 func (c *copyRun) remaining(now float64) float64 {
@@ -50,6 +65,26 @@ type taskRun struct {
 	firstStart float64
 	nextFactor float64 // predrawn duration factor for the next copy (oracle lookahead)
 	tnewBias   float64 // persistent estimation error of this task's t_new
+
+	// View caches, maintained on copy launch/completion/preemption instead
+	// of being recomputed on every launch attempt (the dispatch hot path).
+	best      *copyRun // earliest-finishing copy; first appended wins ties
+	bestEnd   float64  // best.start + best.duration
+	tnewCache float64  // cached non-oracle TNew view value
+	tnewVer   uint64   // 1 + estimator version the cache was computed at; 0 = empty
+}
+
+// recomputeBest rescans copies in append order for the earliest-finishing
+// one (strict < keeps the first among ties, matching the view the policies
+// have always seen).
+func (t *taskRun) recomputeBest() {
+	t.best = nil
+	t.bestEnd = math.Inf(1)
+	for _, c := range t.copies {
+		if end := c.start + c.duration; end < t.bestEnd {
+			t.best, t.bestEnd = c, end
+		}
+	}
 }
 
 // phaseRun is one DAG phase in flight.
@@ -72,10 +107,38 @@ type jobState struct {
 	done     bool
 	declined bool // within the current dispatch round
 
+	// share is the job's max-min fair slot share, refreshed at the start of
+	// each dispatch round; demandPos is the job's position in the
+	// simulator's demand-ordered index.
+	share     int
+	demandPos int
+
 	inputDeadlineAbs float64 // deadline jobs: when the input phase freezes
 	deadlineEv       *simevent.Event
 	inputEnd         float64
 	res              JobResult
+}
+
+// demand approximates the job's slot demand by the incomplete task count of
+// its current phase — the quantity the waterfill allocation levels.
+func (js *jobState) demand() int {
+	if js.phase == nil {
+		return 0
+	}
+	d := len(js.phase.tasks) - js.phase.completed
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// demandLess orders the waterfill index: ascending demand, ties by job ID.
+func demandLess(a, b *jobState) bool {
+	da, db := a.demand(), b.demand()
+	if da != db {
+		return da < db
+	}
+	return a.job.ID < b.job.ID
 }
 
 // Simulator executes one trace under one speculation policy family.
@@ -97,6 +160,16 @@ type Simulator struct {
 	active  []*jobState
 	results []JobResult
 
+	// byDemand is the demand-ordered job index the waterfill share
+	// computation walks: every non-done job, sorted by (demand, job ID) and
+	// maintained incrementally as jobs arrive, complete tasks, change phase
+	// and finish — so each dispatch round costs O(jobs) instead of
+	// O(jobs·log jobs) with fresh allocations.
+	byDemand []*jobState
+	// dheap is the reusable deficit-ordered max-heap the dispatch round pops
+	// the most underserved job from.
+	dheap []*jobState
+
 	// interObs records intermediate-phase spans by DAG length, the basis of
 	// §5.2's deadline decomposition for multi-phase jobs.
 	interObs map[int][]float64
@@ -104,7 +177,77 @@ type Simulator struct {
 	utilIntegral float64
 	lastUtilT    float64
 
-	viewBuf []spec.TaskView
+	viewBuf  []spec.TaskView
+	copyPool []*copyRun
+}
+
+// newCopy takes a copyRun from the free list (or mints one), owned by (js, t).
+func (s *Simulator) newCopy(js *jobState, t *taskRun) *copyRun {
+	if n := len(s.copyPool); n > 0 {
+		c := s.copyPool[n-1]
+		s.copyPool = s.copyPool[:n-1]
+		*c = copyRun{js: js, task: t, fn: c.fn}
+		return c
+	}
+	c := &copyRun{js: js, task: t}
+	c.fn = func(*simevent.Engine) { s.onCopyComplete(c.js, c.task, c) }
+	return c
+}
+
+// freeCopy returns a dead copy (scored, released, unlinked) to the pool.
+func (s *Simulator) freeCopy(c *copyRun) {
+	c.js, c.task, c.ev = nil, nil, nil
+	s.copyPool = append(s.copyPool, c)
+}
+
+// insertDemand places a newly admitted job into the demand-ordered index.
+func (s *Simulator) insertDemand(js *jobState) {
+	lo, hi := 0, len(s.byDemand)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if demandLess(s.byDemand[mid], js) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s.byDemand = append(s.byDemand, nil)
+	copy(s.byDemand[lo+1:], s.byDemand[lo:])
+	s.byDemand[lo] = js
+	for i := lo; i < len(s.byDemand); i++ {
+		s.byDemand[i].demandPos = i
+	}
+}
+
+// removeDemand drops a finished job from the demand-ordered index.
+func (s *Simulator) removeDemand(js *jobState) {
+	i := js.demandPos
+	copy(s.byDemand[i:], s.byDemand[i+1:])
+	s.byDemand = s.byDemand[:len(s.byDemand)-1]
+	for ; i < len(s.byDemand); i++ {
+		s.byDemand[i].demandPos = i
+	}
+	js.demandPos = -1
+}
+
+// repositionDemand restores order after js's demand changed (a task
+// completed, or the job advanced to a new phase). Single-element moves keep
+// the index sorted in O(distance moved), which for the common
+// one-completion decrement is a handful of swaps.
+func (s *Simulator) repositionDemand(js *jobState) {
+	i := js.demandPos
+	for i > 0 && demandLess(js, s.byDemand[i-1]) {
+		s.byDemand[i] = s.byDemand[i-1]
+		s.byDemand[i].demandPos = i
+		i--
+	}
+	for i < len(s.byDemand)-1 && demandLess(s.byDemand[i+1], js) {
+		s.byDemand[i] = s.byDemand[i+1]
+		s.byDemand[i].demandPos = i
+		i++
+	}
+	s.byDemand[i] = js
+	js.demandPos = i
 }
 
 // New builds a simulator for cfg driving the given policy family.
@@ -137,11 +280,14 @@ func New(cfg Config, factory spec.Factory) (*Simulator, error) {
 		return nil, err
 	}
 	// Intermediate tasks straggle less (§5.2): halve the tail probability
-	// and lighten its shape.
-	interTail := cfg.TailFrac / 2
-	if interTail >= 1 {
+	// and lighten its shape. Clamp before halving — Validate bounds TailFrac
+	// to (0, 1], so the clamp only matters for callers that skipped it, but
+	// clamping after the division could never trigger at all.
+	interTail := cfg.TailFrac
+	if interTail > 1 {
 		interTail = 1
 	}
+	interTail /= 2
 	if s.interDist, err = newFactorDist(cfg.IntermediateBeta, cfg.DurationCap, interTail, cfg.TailStart); err != nil {
 		return nil, err
 	}
@@ -215,6 +361,7 @@ func (s *Simulator) admit(j *task.Job) {
 	}
 	js.phase = s.newInputPhase(j)
 	s.active = append(s.active, js)
+	s.insertDemand(js)
 	if j.Bound.Kind == task.DeadlineBound {
 		inputBudget := j.Bound.Deadline - s.intermediateEstimate(j)
 		if min := 0.05 * j.Bound.Deadline; inputBudget < min {
@@ -228,8 +375,10 @@ func (s *Simulator) admit(j *task.Job) {
 
 func (s *Simulator) newInputPhase(j *task.Job) *phaseRun {
 	tasks := make([]*taskRun, len(j.InputWork))
+	runs := make([]taskRun, len(j.InputWork)) // one block, not one alloc per task
 	for i, w := range j.InputWork {
-		tasks[i] = &taskRun{index: i, work: w}
+		runs[i] = taskRun{index: i, work: w}
+		tasks[i] = &runs[i]
 	}
 	return &phaseRun{tasks: tasks, target: j.Bound.TargetTasks(len(tasks))}
 }
@@ -258,12 +407,7 @@ func (s *Simulator) intermediateEstimate(j *task.Job) float64 {
 // fairShare returns the slot share of one job when extra more jobs join the
 // current active set.
 func (s *Simulator) fairShare(extra int) int {
-	n := extra
-	for _, js := range s.active {
-		if !js.done {
-			n++
-		}
-	}
+	n := len(s.byDemand) + extra
 	if n < 1 {
 		n = 1
 	}
@@ -279,79 +423,95 @@ func (s *Simulator) fairShare(extra int) int {
 // policy finds nothing worth launching) is skipped for the rest of the
 // round. This is the fair scheduler the paper assumes ("within the slots
 // allocated to the job, typically based on fair allocations", §8).
+//
+// The round is allocation-free: shares come from one O(jobs) walk over the
+// maintained demand index, and the most-underserved job comes from a
+// reusable deficit-ordered heap — only the popped or launched-into top entry
+// ever moves, so each slot costs O(log jobs) instead of a full rescan.
 func (s *Simulator) dispatch() {
-	for _, js := range s.active {
+	s.refreshShares()
+	h := s.dheap[:0]
+	for _, js := range s.byDemand {
 		js.declined = false
+		h = append(h, js)
 	}
-	shares := s.waterfillShares()
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDownDeficit(h, i)
+	}
 	for s.cl.FreeSlots() > 0 {
-		// Most underserved job first (largest share deficit); jobs beyond
-		// their share may still use leftover slots (work conservation).
-		var best *jobState
-		bestDef := 0
-		for _, js := range s.active {
-			if js.done || js.declined {
-				continue
-			}
-			def := shares[js] - js.running
-			if best == nil || def > bestDef ||
-				(def == bestDef && js.running < best.running) ||
-				(def == bestDef && js.running == best.running && js.job.ID < best.job.ID) {
-				best, bestDef = js, def
-			}
-		}
-		if best == nil {
+		if len(h) == 0 {
+			// Every job declined; the remaining free slots stay free.
+			s.dheap = h
 			return
 		}
-		if !s.tryLaunch(best) {
+		// Most underserved job first (largest share deficit); jobs beyond
+		// their share may still use leftover slots (work conservation).
+		best := h[0]
+		if s.tryLaunch(best) {
+			// best.running grew, shrinking its deficit: restore heap order.
+			siftDownDeficit(h, 0)
+		} else {
 			best.declined = true
+			n := len(h) - 1
+			h[0] = h[n]
+			h = h[:n]
+			siftDownDeficit(h, 0)
 		}
 	}
-	s.preemptForFairness(shares)
+	s.dheap = h
+	s.preemptForFairness()
 }
 
-// waterfillShares computes max-min fair slot shares over job demands: a job
+// refreshShares recomputes max-min fair slot shares over job demands: a job
 // demanding less than the equal split keeps its demand, and the slack is
 // redistributed among the bigger jobs (the water-filling allocation fair
-// schedulers implement). Demand is approximated by the job's incomplete
-// task count in its current phase.
-func (s *Simulator) waterfillShares() map[*jobState]int {
-	type dj struct {
-		js *jobState
-		d  int
-	}
-	var jobs []dj
-	for _, js := range s.active {
-		if js.done || js.phase == nil {
-			continue
-		}
-		d := len(js.phase.tasks) - js.phase.completed
-		if d < 0 {
-			d = 0
-		}
-		jobs = append(jobs, dj{js, d})
-	}
-	shares := make(map[*jobState]int, len(jobs))
-	if len(jobs) == 0 {
-		return shares
-	}
-	sort.Slice(jobs, func(i, j int) bool {
-		if jobs[i].d != jobs[j].d {
-			return jobs[i].d < jobs[j].d
-		}
-		return jobs[i].js.job.ID < jobs[j].js.job.ID
-	})
+// schedulers implement). The demand-ordered index is maintained across
+// events, so this is a single O(jobs) walk with no sorting or allocation.
+func (s *Simulator) refreshShares() {
 	remaining := s.cl.TotalSlots()
-	for i, e := range jobs {
-		level := remaining / (len(jobs) - i)
-		give := e.d
+	n := len(s.byDemand)
+	for i, js := range s.byDemand {
+		level := remaining / (n - i)
+		give := js.demand()
 		if give > level {
 			give = level
 		}
-		shares[e.js] = give
+		js.share = give
 		remaining -= give
 	}
-	return shares
+}
+
+// deficitBetter reports whether a should be offered a slot before b: larger
+// share deficit first, then fewer running copies, then lower job ID — a
+// total order, so the dispatch sequence is deterministic.
+func deficitBetter(a, b *jobState) bool {
+	da, db := a.share-a.running, b.share-b.running
+	if da != db {
+		return da > db
+	}
+	if a.running != b.running {
+		return a.running < b.running
+	}
+	return a.job.ID < b.job.ID
+}
+
+// siftDownDeficit restores the max-heap property of h from index i.
+func siftDownDeficit(h []*jobState, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && deficitBetter(h[r], h[l]) {
+			m = r
+		}
+		if !deficitBetter(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // preemptForFairness restores max-min fairness when the cluster is full: a
@@ -360,7 +520,7 @@ func (s *Simulator) waterfillShares() map[*jobState]int {
 // the rule Hadoop's fair scheduler uses). Without preemption a job arriving
 // into a busy cluster waits for task completions and short deadline-bound
 // jobs starve behind long copies.
-func (s *Simulator) preemptForFairness(shares map[*jobState]int) {
+func (s *Simulator) preemptForFairness() {
 	for {
 		// Neediest under-share job that still wants work.
 		var claimant *jobState
@@ -369,7 +529,7 @@ func (s *Simulator) preemptForFairness(shares map[*jobState]int) {
 			if js.done || js.declined {
 				continue
 			}
-			if def := shares[js] - js.running; def > claimDef ||
+			if def := js.share - js.running; def > claimDef ||
 				(def == claimDef && def > 0 && js.job.ID < claimant.job.ID) {
 				claimant, claimDef = js, def
 			}
@@ -384,7 +544,7 @@ func (s *Simulator) preemptForFairness(shares map[*jobState]int) {
 			if js.done {
 				continue
 			}
-			if ex := js.running - shares[js]; ex > victimExcess {
+			if ex := js.running - js.share; ex > victimExcess {
 				victim, victimExcess = js, ex
 			}
 		}
@@ -432,6 +592,10 @@ func (s *Simulator) preemptYoungest(victim *jobState) bool {
 	victim.res.Preempted++
 	s.scoreCopy(c, s.eng.Now())
 	t.copies = append(t.copies[:ci], t.copies[ci+1:]...)
+	if t.best == c {
+		t.recomputeBest()
+	}
+	s.freeCopy(c)
 	return true
 }
 
@@ -482,13 +646,12 @@ func (s *Simulator) launch(js *jobState, t *taskRun, speculative bool, estTNew f
 	}
 	t.nextFactor = 0 // consumed
 	now := s.eng.Now()
-	c := &copyRun{
-		machineID:   m.ID,
-		start:       now,
-		duration:    t.work * factor * m.Slowdown,
-		speculative: speculative,
-		tremBias:    1,
-	}
+	c := s.newCopy(js, t)
+	c.machineID = m.ID
+	c.start = now
+	c.duration = t.work * factor * m.Slowdown
+	c.speculative = speculative
+	c.tremBias = 1
 	if !s.cfg.Oracle {
 		c.estTNew = estTNew
 		c.tremBias = s.est.SampleTRemBias()
@@ -497,13 +660,16 @@ func (s *Simulator) launch(js *jobState, t *taskRun, speculative bool, estTNew f
 		t.firstStart = now
 	}
 	t.copies = append(t.copies, c)
+	if end := c.start + c.duration; t.best == nil || end < t.bestEnd {
+		t.best, t.bestEnd = c, end
+	}
 	js.running++
 	js.res.Launched++
 	if speculative {
 		js.specRun++
 		js.res.Speculative++
 	}
-	c.ev = s.eng.At(now+c.duration, func(*simevent.Engine) { s.onCopyComplete(js, t, c) })
+	c.ev = s.eng.At(now+c.duration, c.fn)
 }
 
 // drawFactor samples a duration factor from the phase-appropriate tail.
@@ -562,12 +728,12 @@ func (s *Simulator) buildViews(js *jobState, ctx spec.Ctx) []spec.TaskView {
 		if len(t.copies) > 0 {
 			v.Running = true
 			v.Copies = len(t.copies)
-			bestCopy := t.copies[0]
-			trueRem := bestCopy.remaining(now)
-			for _, c := range t.copies[1:] {
-				if r := c.remaining(now); r < trueRem {
-					trueRem, bestCopy = r, c
-				}
+			// The earliest-finishing copy is cached on launch/completion/
+			// preemption, so a launch attempt does not rescan the copies.
+			bestCopy := t.best
+			trueRem := t.bestEnd - now
+			if trueRem < 0 {
+				trueRem = 0
 			}
 			v.Elapsed = now - t.firstStart
 			if bestCopy.duration > 0 {
@@ -589,8 +755,9 @@ func (s *Simulator) buildViews(js *jobState, ctx spec.Ctx) []spec.TaskView {
 				// nearly-done copy's remaining time is well known.
 				bias := 1 + (bestCopy.tremBias-1)*(1-v.Progress)
 				v.TRem = trueRem * bias
-				if v.Speculable && len(bestCopy.pendTRem) < 4 {
-					bestCopy.pendTRem = append(bestCopy.pendTRem, pend{est: v.TRem, at: now})
+				if v.Speculable && bestCopy.pendN < len(bestCopy.pendTRem) {
+					bestCopy.pendTRem[bestCopy.pendN] = pend{est: v.TRem, at: now}
+					bestCopy.pendN++
 				}
 			}
 		}
@@ -603,7 +770,13 @@ func (s *Simulator) buildViews(js *jobState, ctx spec.Ctx) []spec.TaskView {
 			if t.tnewBias == 0 {
 				t.tnewBias = s.est.SampleTNewBias()
 			}
-			v.TNew = s.est.NormalizedMedian() * t.work * t.tnewBias
+			// TNew only moves when the estimator's empirical base does;
+			// cache it per task instead of recomputing every launch attempt.
+			if ver := s.est.Version() + 1; t.tnewVer != ver {
+				t.tnewCache = s.est.NormalizedMedian() * t.work * t.tnewBias
+				t.tnewVer = ver
+			}
+			v.TNew = t.tnewCache
 		}
 		s.viewBuf = append(s.viewBuf, v)
 	}
@@ -645,8 +818,13 @@ func (s *Simulator) onCopyComplete(js *jobState, t *taskRun, c *copyRun) {
 		js.res.Killed++
 		s.scoreCopy(o, now)
 	}
+	for _, o := range t.copies {
+		s.freeCopy(o)
+	}
 	t.copies = nil
+	t.best = nil
 	js.phase.completed++
+	s.repositionDemand(js)
 	if js.phaseIdx == 0 {
 		if po, ok := js.policy.(spec.ProgressObserver); ok {
 			po.OnTaskComplete(js.phase.completed, now-js.job.Arrival)
@@ -666,13 +844,14 @@ func (s *Simulator) scoreCopy(c *copyRun, now float64) {
 	if c.estTNew > 0 {
 		s.est.RecordTNew(c.estTNew, c.duration)
 	}
-	for _, p := range c.pendTRem {
+	for i := 0; i < c.pendN; i++ {
+		p := c.pendTRem[i]
 		actual := c.duration - (p.at - c.start)
 		if actual > 0 {
 			s.est.RecordTRem(p.est, actual)
 		}
 	}
-	c.pendTRem = nil
+	c.pendN = 0
 }
 
 // onInputDeadline freezes a deadline job's input phase: accuracy is locked
@@ -702,8 +881,10 @@ func (s *Simulator) finishPhase(js *jobState) {
 			}
 			js.res.Killed++
 			s.scoreCopy(c, now)
+			s.freeCopy(c)
 		}
 		t.copies = nil
+		t.best = nil
 	}
 	if js.phaseIdx == 0 {
 		js.inputEnd = now
@@ -724,10 +905,13 @@ func (s *Simulator) finishPhase(js *jobState) {
 	p := js.job.Phases[js.phaseIdx]
 	js.phaseIdx++
 	tasks := make([]*taskRun, p.NumTasks)
+	runs := make([]taskRun, p.NumTasks)
 	for i := range tasks {
-		tasks[i] = &taskRun{index: i, work: p.WorkScale}
+		runs[i] = taskRun{index: i, work: p.WorkScale}
+		tasks[i] = &runs[i]
 	}
 	js.phase = &phaseRun{tasks: tasks, target: p.NumTasks}
+	s.repositionDemand(js)
 }
 
 // stragglerRatio returns max/median of work-normalized completed task spans.
@@ -753,6 +937,7 @@ func (s *Simulator) finishJob(js *jobState) {
 	now := s.eng.Now()
 	js.done = true
 	js.phase = nil
+	s.removeDemand(js)
 	js.res.Duration = now - js.job.Arrival
 	if js.job.DAGLength() > 1 {
 		s.interObs[js.job.DAGLength()] = append(s.interObs[js.job.DAGLength()], now-js.inputEnd)

@@ -1,5 +1,7 @@
 package spec
 
+import "math"
+
 // This file implements the production baselines the paper compares against:
 // LATE (Zaharia et al., OSDI '08) and Mantri (Ananthanarayanan et al.,
 // OSDI '10), plus a no-speculation control. Both baselines are
@@ -46,11 +48,26 @@ type LATE struct {
 	// are meaningless at first); LATE uses a 1-minute floor on big clusters,
 	// scaled here in simulation time units.
 	MinElapsed float64
+
+	// buf holds reusable candidate buffers; nil (zero-value LATE) falls back
+	// to per-call allocation. One scheduler goroutine owns a LATE instance,
+	// so the shared buffers are safe.
+	buf *lateScratch
+}
+
+type lateScratch struct {
+	cands []lateCand
+	rates []float64
+}
+
+type lateCand struct {
+	i    int
+	rate float64
 }
 
 // NewLATE returns LATE with its published default parameters.
 func NewLATE() LATE {
-	return LATE{SlowTaskThreshold: 0.25, SpeculativeCap: 0.10, MinElapsed: 0}
+	return LATE{SlowTaskThreshold: 0.25, SpeculativeCap: 0.10, MinElapsed: 0, buf: &lateScratch{}}
 }
 
 // Name returns "LATE".
@@ -74,38 +91,45 @@ func (l LATE) Pick(ctx Ctx, tasks []TaskView) (Decision, bool) {
 		return Decision{}, false
 	}
 	// Collect progress rates of running singleton tasks.
-	type cand struct {
-		i    int
-		rate float64
-	}
-	var cands []cand
+	var cands []lateCand
 	var rates []float64
+	if l.buf != nil {
+		cands, rates = l.buf.cands[:0], l.buf.rates[:0]
+	}
 	for i, t := range tasks {
 		if !t.Running || !t.Speculable || t.Copies >= 2 || t.Elapsed < l.MinElapsed || t.Elapsed <= 0 {
 			continue
 		}
 		r := t.Progress / t.Elapsed
-		cands = append(cands, cand{i, r})
+		cands = append(cands, lateCand{i, r})
 		rates = append(rates, r)
+	}
+	if l.buf != nil {
+		l.buf.cands, l.buf.rates = cands, rates
 	}
 	if len(cands) == 0 {
 		return Decision{}, false
 	}
 	thr := percentile(rates, l.SlowTaskThreshold)
-	// Among slow tasks, pick the longest approximate time to end. LATE
-	// estimates time-left as (1 − progress) / progress-rate.
+	// A task is slow when its progress rate falls *strictly below* the
+	// threshold percentile; a stalled task (zero rate) is always slow. The
+	// strictness matters: when a wave launches together and every candidate
+	// reports the same rate, the percentile equals that rate, and a `rate >
+	// thr → skip` test (the old code) classified every candidate as slow and
+	// speculated a healthy task. Among slow tasks, pick the longest
+	// approximate time to end, (1 − progress) / progress-rate; a stalled
+	// task's time-to-end is +Inf, which must outrank every moving straggler
+	// (the old `t_new × 100` sentinel could lose to a genuine straggler with
+	// a worse estimate).
 	best := -1
 	var bestLeft float64
 	for _, c := range cands {
-		if c.rate > thr {
-			continue
+		if c.rate >= thr && c.rate > 0 {
+			continue // not slow
 		}
-		t := tasks[c.i]
-		var left float64
+		left := math.Inf(1) // stalled
 		if c.rate > 0 {
-			left = (1 - t.Progress) / c.rate
-		} else {
-			left = t.TNew * 100 // stalled task: effectively infinite
+			left = (1 - tasks[c.i].Progress) / c.rate
 		}
 		if best == -1 || left > bestLeft {
 			best, bestLeft = c.i, left
@@ -159,14 +183,15 @@ func (m Mantri) Pick(ctx Ctx, tasks []TaskView) (Decision, bool) {
 	return Decision{}, false
 }
 
-// percentile returns the p-quantile of xs by linear interpolation; it copies
-// xs. Duplicated from internal/dist to keep spec dependency-light for
-// policies that run in the scheduler's hot loop.
+// percentile returns the p-quantile of xs by linear interpolation, sorting
+// xs in place (the caller passes a scratch slice it no longer needs).
+// Duplicated from internal/dist to keep spec dependency-light for policies
+// that run in the scheduler's hot loop.
 func percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	s := append([]float64(nil), xs...)
+	s := xs
 	// insertion sort: candidate sets are small (running tasks of one job)
 	for i := 1; i < len(s); i++ {
 		for j := i; j > 0 && s[j] < s[j-1]; j-- {

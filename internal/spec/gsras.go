@@ -7,17 +7,24 @@ import "github.com/approx-analytics/grass/internal/task"
 // deadline-bound jobs that is Shortest Job First over fresh copies and
 // beneficial speculative copies; for error-bound jobs it is Longest Job
 // First over the tasks needed to reach the bound.
-type GS struct{}
+//
+// The zero value works but allocates selection buffers on every Pick; use
+// NewGS for the allocation-free hot path.
+type GS struct{ buf *scratch }
+
+// NewGS returns a GS policy with reusable selection buffers. One scheduler
+// goroutine owns the instance (copies share the buffers).
+func NewGS() GS { return GS{buf: &scratch{}} }
 
 // Name returns "GS".
 func (GS) Name() string { return "GS" }
 
 // Pick implements Policy.
-func (GS) Pick(ctx Ctx, tasks []TaskView) (Decision, bool) {
+func (g GS) Pick(ctx Ctx, tasks []TaskView) (Decision, bool) {
 	if ctx.Kind == task.DeadlineBound {
 		return gsDeadline(ctx, tasks)
 	}
-	return gsError(ctx, tasks)
+	return gsError(ctx, tasks, g.buf)
 }
 
 // gsDeadline: prune tasks that cannot finish by the deadline and speculative
@@ -53,8 +60,8 @@ func gsDeadline(ctx Ctx, tasks []TaskView) (Decision, bool) {
 // bound (the `need` unfinished tasks with smallest effective duration
 // min(t_rem, t_new)), then select the one with the largest remaining work —
 // LJF, speculating the worst straggler first.
-func gsError(ctx Ctx, tasks []TaskView) (Decision, bool) {
-	cand := earliestSet(ctx, tasks)
+func gsError(ctx Ctx, tasks []TaskView, buf *scratch) (Decision, bool) {
+	cand := earliestSet(ctx, tasks, buf)
 	best := -1
 	var bestKey float64
 	for _, i := range cand {
@@ -82,17 +89,23 @@ func gsError(ctx Ctx, tasks []TaskView) (Decision, bool) {
 // candidates the largest saving wins. When no speculation saves resources,
 // RAS falls back to the bound's natural ordering of unscheduled tasks (SJF
 // for deadlines, LJF for error bounds).
-type RAS struct{}
+// The zero value works but allocates selection buffers on every Pick; use
+// NewRAS for the allocation-free hot path.
+type RAS struct{ buf *scratch }
+
+// NewRAS returns a RAS policy with reusable selection buffers. One scheduler
+// goroutine owns the instance (copies share the buffers).
+func NewRAS() RAS { return RAS{buf: &scratch{}} }
 
 // Name returns "RAS".
 func (RAS) Name() string { return "RAS" }
 
 // Pick implements Policy.
-func (RAS) Pick(ctx Ctx, tasks []TaskView) (Decision, bool) {
+func (r RAS) Pick(ctx Ctx, tasks []TaskView) (Decision, bool) {
 	if ctx.Kind == task.DeadlineBound {
 		return rasDeadline(ctx, tasks)
 	}
-	return rasError(ctx, tasks)
+	return rasError(ctx, tasks, r.buf)
 }
 
 func rasDeadline(ctx Ctx, tasks []TaskView) (Decision, bool) {
@@ -126,8 +139,8 @@ func rasDeadline(ctx Ctx, tasks []TaskView) (Decision, bool) {
 	return Decision{}, false
 }
 
-func rasError(ctx Ctx, tasks []TaskView) (Decision, bool) {
-	cand := earliestSet(ctx, tasks)
+func rasError(ctx Ctx, tasks []TaskView, buf *scratch) (Decision, bool) {
+	cand := earliestSet(ctx, tasks, buf)
 	spec := -1
 	var specSaving float64
 	fresh := -1
@@ -173,34 +186,49 @@ func effDuration(t TaskView) float64 {
 	return t.TRem
 }
 
+// scratch holds the reusable earliestSet buffers of one policy instance. The
+// returned index slice aliases scratch memory: it is valid until the next
+// Pick on the same instance, which is exactly the lifetime the policy
+// implementations need.
+type scratch struct {
+	pairs []effIdx
+	idx   []int
+}
+
 // earliestSet returns the indices (into tasks) of the `need` unfinished
 // tasks with the smallest effective duration — the tasks that contribute
 // earliest to the error bound (Pseudocode 2's pruning stage). need =
 // TargetTasks − CompletedTasks; if more tasks remain than needed, the
 // slowest ones are pruned from consideration entirely. Selection uses an
 // O(n) quickselect (this runs once per launch decision); ties at the
-// threshold are broken by task index for determinism.
-func earliestSet(ctx Ctx, tasks []TaskView) []int {
+// threshold are broken by task index for determinism. buf, when non-nil,
+// supplies reusable buffers so the hot path allocates nothing.
+func earliestSet(ctx Ctx, tasks []TaskView, buf *scratch) []int {
 	need := ctx.Remaining()
 	if need <= 0 {
 		return nil
 	}
+	if buf == nil {
+		buf = &scratch{}
+	}
+	idx := buf.idx[:0]
 	if need >= len(tasks) {
-		idx := make([]int, len(tasks))
-		for i := range idx {
-			idx[i] = i
+		for i := range tasks {
+			idx = append(idx, i)
 		}
+		buf.idx = idx
 		return idx
 	}
-	pairs := make([]effIdx, len(tasks))
+	pairs := buf.pairs[:0]
 	for i, t := range tasks {
-		pairs[i] = effIdx{eff: effDuration(t), idx: i}
+		pairs = append(pairs, effIdx{eff: effDuration(t), idx: i})
 	}
+	buf.pairs = pairs
 	quickselectPairs(pairs, need-1)
-	idx := make([]int, need)
 	for i := 0; i < need; i++ {
-		idx[i] = pairs[i].idx
+		idx = append(idx, pairs[i].idx)
 	}
+	buf.idx = idx
 	return idx
 }
 

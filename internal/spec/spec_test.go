@@ -277,6 +277,59 @@ func TestLATESpeculatesSlowest(t *testing.T) {
 	}
 }
 
+// TestLATETiedRatesNoSpeculation pins the percentile-boundary fix: when a
+// wave launches together and every running task reports the same progress
+// rate, the threshold equals that rate and *no* task is below it — nothing
+// is a straggler. The old `rate > thr → skip` test classified every
+// candidate as slow and speculated a healthy task.
+func TestLATETiedRatesNoSpeculation(t *testing.T) {
+	tasks := []TaskView{
+		{Index: 0, Running: true, Speculable: true, Copies: 1, TRem: 10, TNew: 10, Elapsed: 10, Progress: 0.5},
+		{Index: 1, Running: true, Speculable: true, Copies: 1, TRem: 10, TNew: 10, Elapsed: 10, Progress: 0.5},
+		{Index: 2, Running: true, Speculable: true, Copies: 1, TRem: 10, TNew: 10, Elapsed: 10, Progress: 0.5},
+	}
+	if d, ok := NewLATE().Pick(deadlineCtx(1000, 3), tasks); ok {
+		t.Fatalf("LATE speculated %+v among identically progressing tasks", d)
+	}
+}
+
+// TestLATESingleCandidateNotSlow: a lone running task cannot be below the
+// percentile of its own rate; LATE must leave the slot idle rather than
+// speculate a task with no evidence it is slow (the old boundary test
+// speculated it).
+func TestLATESingleCandidateNotSlow(t *testing.T) {
+	tasks := []TaskView{
+		{Index: 0, Running: true, Speculable: true, Copies: 1, TRem: 50, TNew: 10, Elapsed: 10, Progress: 0.2},
+	}
+	if d, ok := NewLATE().Pick(deadlineCtx(1000, 1), tasks); ok {
+		t.Fatalf("LATE speculated %+v with a single candidate", d)
+	}
+}
+
+// TestLATEStalledTaskOutranksStraggler pins the stalled-task sentinel: a
+// task with zero progress rate has unbounded time-to-end and must win the
+// longest-approximate-time-to-end selection over any moving straggler. The
+// old `t_new × 100` sentinel lost when a mover's (1 − progress)/rate
+// exceeded it.
+func TestLATEStalledTaskOutranksStraggler(t *testing.T) {
+	tasks := []TaskView{
+		// Stalled: no progress after 100 units; old sentinel = 5 × 100 = 500.
+		{Index: 0, Running: true, Speculable: true, Copies: 1, TRem: 1000, TNew: 5, Elapsed: 100, Progress: 0},
+		// Moving straggler: rate 0.001, time-to-end (1−0.2)/0.001 = 800 > 500.
+		{Index: 1, Running: true, Speculable: true, Copies: 1, TRem: 800, TNew: 5, Elapsed: 200, Progress: 0.2},
+		// Healthy tasks lifting the interpolated threshold above both, so the
+		// stalled task and the mover are each classified slow.
+		{Index: 2, Running: true, Speculable: true, Copies: 1, TRem: 1, TNew: 5, Elapsed: 1, Progress: 0.9},
+		{Index: 3, Running: true, Speculable: true, Copies: 1, TRem: 1, TNew: 5, Elapsed: 1, Progress: 0.92},
+		{Index: 4, Running: true, Speculable: true, Copies: 1, TRem: 1, TNew: 5, Elapsed: 1, Progress: 0.94},
+		{Index: 5, Running: true, Speculable: true, Copies: 1, TRem: 1, TNew: 5, Elapsed: 1, Progress: 0.96},
+	}
+	d, ok := NewLATE().Pick(deadlineCtx(10000, 6), tasks)
+	if !ok || d.TaskIndex != 0 || !d.Speculative {
+		t.Fatalf("got %+v ok=%v, want speculative copy of stalled task 0", d, ok)
+	}
+}
+
 func TestLATESpecCap(t *testing.T) {
 	l := NewLATE()
 	ctx := deadlineCtx(1000, 4)
@@ -402,21 +455,24 @@ func TestDecisionValidityProperty(t *testing.T) {
 }
 
 func TestPercentileHelper(t *testing.T) {
-	xs := []float64{4, 1, 3, 2}
-	if got := percentile(xs, 0); got != 1 {
+	if got := percentile([]float64{4, 1, 3, 2}, 0); got != 1 {
 		t.Fatalf("p0 = %v", got)
 	}
-	if got := percentile(xs, 1); got != 4 {
+	if got := percentile([]float64{4, 1, 3, 2}, 1); got != 4 {
 		t.Fatalf("p1 = %v", got)
 	}
-	if got := percentile(xs, 0.5); got != 2.5 {
+	if got := percentile([]float64{4, 1, 3, 2}, 0.5); got != 2.5 {
 		t.Fatalf("p50 = %v", got)
 	}
 	if got := percentile(nil, 0.5); got != 0 {
 		t.Fatalf("empty percentile = %v", got)
 	}
-	// Input must not be mutated.
-	if xs[0] != 4 {
-		t.Fatal("percentile mutated input")
+	// The helper sorts its scratch argument in place (hot-path contract).
+	xs := []float64{4, 1, 3, 2}
+	percentile(xs, 0.5)
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			t.Fatalf("scratch not sorted in place: %v", xs)
+		}
 	}
 }
