@@ -1,26 +1,38 @@
-// Command grass-bench regenerates the paper's tables and figures:
+// Command grass-bench regenerates the paper's tables and figures, and runs
+// trace-scale streaming replays:
 //
-//	grass-bench                # every experiment at the quick size
-//	grass-bench -full          # full size (EXPERIMENTS.md numbers)
-//	grass-bench -fig fig5      # one experiment
-//	grass-bench -list          # available experiment IDs
-//	grass-bench -profile perf  # also write perf.cpu.prof / perf.mem.prof
+//	grass-bench                    # every experiment at the quick size
+//	grass-bench -full              # full size (EXPERIMENTS.md numbers)
+//	grass-bench -fig fig5          # one experiment
+//	grass-bench -list              # available experiment IDs
+//	grass-bench -profile perf      # also write CPU/heap profiles
+//	grass-bench -jobs 1000000      # streaming replay: a million mixed jobs
+//	                               # in bounded memory, high-water reported
 //
 // Output is plain-text tables with the same rows/series the paper plots.
-// With -profile, CPU samples cover the experiment runs and a heap profile is
-// written at exit — `go tool pprof perf.cpu.prof` then points at the
-// simulator's hot path.
+// With -profile, CPU samples cover the runs and a heap profile is written
+// at exit — `go tool pprof <dir>/perf.cpu.prof` then points at the
+// simulator's hot path. Bare profile prefixes land in a fresh temp
+// directory (printed on start) so repeated runs never litter the working
+// tree; give a path containing a separator to choose the location.
+//
+// The -jobs replay streams the trace through the simulator: jobs are
+// generated lazily in arrival order, recycled when they finish, and results
+// fold into running aggregates — heap high-water stays flat as -jobs grows.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"github.com/approx-analytics/grass/internal/exp"
+	"github.com/approx-analytics/grass/internal/trace"
 )
 
 // main delegates to run so deferred cleanup (profile finalization) executes
@@ -35,7 +47,13 @@ func run() int {
 		full    = flag.Bool("full", false, "full-size runs (slower; EXPERIMENTS.md numbers)")
 		list    = flag.Bool("list", false, "list experiment IDs")
 		workers = flag.Int("workers", 0, "concurrent simulations per experiment (0 = all cores); results are identical for any value")
-		profile = flag.String("profile", "", "write <prefix>.cpu.prof and <prefix>.mem.prof covering the experiment runs")
+		profile = flag.String("profile", "", "write <prefix>.cpu.prof and <prefix>.mem.prof covering the runs (bare prefixes go to a temp dir)")
+
+		jobs     = flag.Int("jobs", 0, "streaming replay: replay this many jobs instead of running experiments")
+		policy   = flag.String("policy", "gs", "replay policy (see grass-sim for names)")
+		workload = flag.String("workload", "facebook", "replay workload: facebook | bing")
+		bound    = flag.String("bound", "mixed", "replay bound mode: mixed | deadline | error | exact")
+		seed     = flag.Int64("seed", 1, "replay seed")
 	)
 	flag.Parse()
 
@@ -46,7 +64,12 @@ func run() int {
 		return 0
 	}
 	if *profile != "" {
-		cpu, err := os.Create(*profile + ".cpu.prof")
+		prefix, err := profilePrefix(*profile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grass-bench: %v\n", err)
+			return 1
+		}
+		cpu, err := os.Create(prefix + ".cpu.prof")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "grass-bench: %v\n", err)
 			return 1
@@ -55,12 +78,13 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "grass-bench: %v\n", err)
 			return 1
 		}
+		fmt.Printf("profiles: %s.cpu.prof, %s.mem.prof\n", prefix, prefix)
 		// Finalize both profiles even when an experiment fails: a profile of
 		// the run that errored is exactly what the debugging session needs.
 		defer func() {
 			pprof.StopCPUProfile()
 			cpu.Close()
-			mem, err := os.Create(*profile + ".mem.prof")
+			mem, err := os.Create(prefix + ".mem.prof")
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "grass-bench: %v\n", err)
 				return
@@ -72,6 +96,15 @@ func run() int {
 			}
 		}()
 	}
+
+	if *jobs > 0 {
+		if *fig != "" || *full {
+			fmt.Fprintln(os.Stderr, "grass-bench: -jobs (streaming replay) cannot be combined with -fig or -full")
+			return 1
+		}
+		return runReplay(*jobs, *policy, *workload, *bound, *seed)
+	}
+
 	cfg := exp.Quick()
 	if *full {
 		cfg = exp.Default()
@@ -97,4 +130,42 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// runReplay executes one streaming replay and renders its aggregates.
+func runReplay(jobs int, policy, workload, bound string, seed int64) int {
+	rc := exp.DefaultReplayConfig(jobs)
+	rc.Policy = policy
+	rc.Seed = seed
+	var err error
+	if rc.Workload, err = trace.ParseWorkload(workload); err != nil {
+		fmt.Fprintf(os.Stderr, "grass-bench: %v\n", err)
+		return 1
+	}
+	if rc.Bound, err = trace.ParseBound(bound); err != nil {
+		fmt.Fprintf(os.Stderr, "grass-bench: %v\n", err)
+		return 1
+	}
+	rs, err := exp.Replay(rc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "grass-bench: replay: %v\n", err)
+		return 1
+	}
+	rs.Render(os.Stdout)
+	return 0
+}
+
+// profilePrefix resolves where profile files go: a prefix with a path
+// separator is used as given; a bare prefix lands in a fresh temp directory
+// so CI runs and repeated profiling sessions leave no stray files in the
+// working tree.
+func profilePrefix(p string) (string, error) {
+	if strings.ContainsRune(p, os.PathSeparator) {
+		return p, nil
+	}
+	dir, err := os.MkdirTemp("", "grass-bench-")
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(dir, p), nil
 }

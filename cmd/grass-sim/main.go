@@ -13,7 +13,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"github.com/approx-analytics/grass/internal/exp"
 	"github.com/approx-analytics/grass/internal/metrics"
@@ -27,7 +26,7 @@ func main() {
 		policy    = flag.String("policy", "grass", "speculation policy")
 		workload  = flag.String("workload", "facebook", "facebook | bing")
 		framework = flag.String("framework", "hadoop", "hadoop | spark")
-		bound     = flag.String("bound", "deadline", "deadline | error | exact")
+		bound     = flag.String("bound", "deadline", "deadline | error | exact | mixed")
 		jobs      = flag.Int("jobs", 200, "number of jobs")
 		load      = flag.Float64("load", 0.7, "offered load")
 		dag       = flag.Int("dag", 1, "DAG length (phases)")
@@ -54,7 +53,7 @@ func run(policy, workload, framework, bound string, jobs int, load float64, dag 
 	if dag > 1 {
 		tc.DAGLength = dag
 	}
-	jl, err := trace.Generate(tc)
+	stream, err := trace.NewStream(tc)
 	if err != nil {
 		return err
 	}
@@ -78,7 +77,8 @@ func run(policy, workload, framework, bound string, jobs int, load float64, dag 
 	if err != nil {
 		return err
 	}
-	stats, err := sim.Run(jl)
+	// Stream the trace: same results as materializing it, bounded memory.
+	stats, err := sim.RunSource(stream)
 	if err != nil {
 		return err
 	}
@@ -87,41 +87,24 @@ func run(policy, workload, framework, bound string, jobs int, load float64, dag 
 }
 
 func traceConfig(workload, framework, bound string) (trace.Config, error) {
-	var w trace.Workload
-	switch strings.ToLower(workload) {
-	case "facebook", "fb":
-		w = trace.Facebook
-	case "bing":
-		w = trace.Bing
-	default:
-		return trace.Config{}, fmt.Errorf("unknown workload %q", workload)
+	w, err := trace.ParseWorkload(workload)
+	if err != nil {
+		return trace.Config{}, err
 	}
-	var f trace.Framework
-	switch strings.ToLower(framework) {
-	case "hadoop":
-		f = trace.Hadoop
-	case "spark":
-		f = trace.Spark
-	default:
-		return trace.Config{}, fmt.Errorf("unknown framework %q", framework)
+	f, err := trace.ParseFramework(framework)
+	if err != nil {
+		return trace.Config{}, err
 	}
-	var b trace.BoundMode
-	switch strings.ToLower(bound) {
-	case "deadline":
-		b = trace.DeadlineBound
-	case "error":
-		b = trace.ErrorBound
-	case "exact":
-		b = trace.ExactBound
-	default:
-		return trace.Config{}, fmt.Errorf("unknown bound %q", bound)
+	b, err := trace.ParseBound(bound)
+	if err != nil {
+		return trace.Config{}, err
 	}
 	return trace.DefaultConfig(w, f, b), nil
 }
 
 func report(tc trace.Config, policy string, stats *sched.RunStats) {
 	fmt.Printf("policy=%s workload=%s framework=%s bound=%v jobs=%d\n",
-		policy, tc.Workload, tc.Framework, boundName(tc.Bound), len(stats.Results))
+		policy, tc.Workload, tc.Framework, tc.Bound, len(stats.Results))
 	fmt.Printf("makespan=%.1f meanUtil=%.2f events=%d estimatorAcc=%.2f\n",
 		stats.Makespan, stats.MeanUtilization, stats.Events, stats.EstimatorAccuracy)
 	fmt.Printf("%-8s %6s %10s %10s %8s %8s\n", "bin", "jobs", "accuracy", "duration", "spec", "killed")
@@ -140,15 +123,4 @@ func report(tc trace.Config, policy string, stats *sched.RunStats) {
 	}
 	fmt.Printf("%-8s %6d %10.3f %10.2f\n", "all", len(stats.Results),
 		metrics.MeanAccuracy(stats.Results), metrics.MeanInputDuration(stats.Results))
-}
-
-func boundName(b trace.BoundMode) string {
-	switch b {
-	case trace.DeadlineBound:
-		return "deadline"
-	case trace.ErrorBound:
-		return "error"
-	default:
-		return "exact"
-	}
 }

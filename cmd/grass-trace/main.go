@@ -11,7 +11,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"github.com/approx-analytics/grass/internal/task"
 	"github.com/approx-analytics/grass/internal/trace"
@@ -21,7 +20,7 @@ func main() {
 	var (
 		workload  = flag.String("workload", "facebook", "facebook | bing")
 		framework = flag.String("framework", "hadoop", "hadoop | spark")
-		bound     = flag.String("bound", "deadline", "deadline | error | exact")
+		bound     = flag.String("bound", "deadline", "deadline | error | exact | mixed")
 		jobs      = flag.Int("jobs", 100, "number of jobs")
 		slots     = flag.Int("slots", 400, "cluster slots (calibration)")
 		load      = flag.Float64("load", 1.0, "offered load")
@@ -37,34 +36,17 @@ func main() {
 }
 
 func run(workload, framework, bound string, jobs, slots int, load float64, dag int, seed int64, asJSON bool) error {
-	var w trace.Workload
-	switch strings.ToLower(workload) {
-	case "facebook", "fb":
-		w = trace.Facebook
-	case "bing":
-		w = trace.Bing
-	default:
-		return fmt.Errorf("unknown workload %q", workload)
+	w, err := trace.ParseWorkload(workload)
+	if err != nil {
+		return err
 	}
-	var f trace.Framework
-	switch strings.ToLower(framework) {
-	case "hadoop":
-		f = trace.Hadoop
-	case "spark":
-		f = trace.Spark
-	default:
-		return fmt.Errorf("unknown framework %q", framework)
+	f, err := trace.ParseFramework(framework)
+	if err != nil {
+		return err
 	}
-	var b trace.BoundMode
-	switch strings.ToLower(bound) {
-	case "deadline":
-		b = trace.DeadlineBound
-	case "error":
-		b = trace.ErrorBound
-	case "exact":
-		b = trace.ExactBound
-	default:
-		return fmt.Errorf("unknown bound %q", bound)
+	b, err := trace.ParseBound(bound)
+	if err != nil {
+		return err
 	}
 	cfg := trace.DefaultConfig(w, f, b)
 	cfg.Jobs = jobs

@@ -27,6 +27,8 @@
 package grass
 
 import (
+	"fmt"
+
 	"github.com/approx-analytics/grass/internal/cluster"
 	"github.com/approx-analytics/grass/internal/core"
 	"github.com/approx-analytics/grass/internal/exp"
@@ -69,6 +71,14 @@ type (
 	Framework = trace.Framework
 	// BoundMode selects how generated jobs are bounded.
 	BoundMode = trace.BoundMode
+	// TraceStream generates a synthetic workload lazily, one job per Next,
+	// with a pool for recycling finished jobs (StreamTrace builds one).
+	TraceStream = trace.Stream
+	// JobSource is a streaming admission source: jobs in arrival order, one
+	// at a time. TraceStream implements it; so does any importer of real
+	// cluster logs. Sources that also implement sched.Releaser get finished
+	// jobs handed back for reuse.
+	JobSource = sched.Source
 )
 
 // Workload, framework and bound-mode constants.
@@ -82,6 +92,7 @@ const (
 	DeadlineBound = trace.DeadlineBound
 	ErrorBound    = trace.ErrorBound
 	ExactBound    = trace.ExactBound
+	MixedBound    = trace.MixedBound
 )
 
 // Job-size bins (paper §6.1).
@@ -128,20 +139,74 @@ func NewGrassPolicy(cfg GrassConfig) (PolicyFactory, error) {
 }
 
 // GenerateTrace produces a synthetic workload: jobs sorted by arrival with
-// §6.1-style deadline/error bounds.
+// §6.1-style deadline/error bounds. It is the materializing wrapper around
+// StreamTrace — identical jobs for the same config — for workloads small
+// enough to hold in memory.
 func GenerateTrace(cfg TraceConfig) ([]*Job, error) {
 	return trace.Generate(cfg)
 }
 
-// Simulate runs jobs through the cluster simulator under the named policy.
-// Oracle mode is enabled automatically for the "oracle" policy.
-func Simulate(cfg SimConfig, policy string, jobs []*Job) (*RunStats, error) {
+// StreamTrace returns a lazy generator of the same workload GenerateTrace
+// materializes: byte-identical jobs for the same config, emitted one at a
+// time. Pass the stream to SimulateStream to replay traces at the paper's
+// sizes (575K/500K jobs and beyond) in bounded memory.
+func StreamTrace(cfg TraceConfig) (*TraceStream, error) {
+	return trace.NewStream(cfg)
+}
+
+// SimulateStream runs a streamed trace through the cluster simulator under
+// the named policy. Results are identical to materializing the same trace
+// and calling Simulate; memory differs — the simulator holds only in-flight
+// jobs (finished jobs are recycled when src implements sched.Releaser, as
+// TraceStream does). RunStats.Results still accumulates one entry per job;
+// use SimulateStreamFold when even that is too large.
+func SimulateStream(cfg SimConfig, policy string, src JobSource) (*RunStats, error) {
+	return simulateSource(cfg, policy, src, nil)
+}
+
+// SimulateStreamFold is the bounded-memory variant of SimulateStream: each
+// job's result is passed to fold as the job finishes (in completion order)
+// instead of accumulating in RunStats.Results, so nothing retained grows
+// with the trace length.
+func SimulateStreamFold(cfg SimConfig, policy string, src JobSource, fold func(JobResult)) (*RunStats, error) {
+	if fold == nil {
+		return nil, fmt.Errorf("grass: nil fold func")
+	}
+	return simulateSource(cfg, policy, src, fold)
+}
+
+func simulateSource(cfg SimConfig, policy string, src JobSource, fold func(JobResult)) (*RunStats, error) {
+	sim, err := newSimulator(cfg, policy)
+	if err != nil {
+		return nil, err
+	}
+	if fold != nil {
+		sim.OnResult(fold)
+	}
+	return sim.RunSource(src)
+}
+
+// newSimulator resolves the policy name (enabling oracle mode when the
+// policy needs ground truth) and builds the simulator — the single wiring
+// point shared by Simulate and the streaming entry points, so the
+// materialized and streamed paths cannot drift.
+func newSimulator(cfg SimConfig, policy string) (*sched.Simulator, error) {
 	factory, oracleMode, err := exp.NewFactory(policy, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
 	cfg.Oracle = oracleMode
-	return SimulateWith(cfg, factory, jobs)
+	return sched.New(cfg, factory)
+}
+
+// Simulate runs jobs through the cluster simulator under the named policy.
+// Oracle mode is enabled automatically for the "oracle" policy.
+func Simulate(cfg SimConfig, policy string, jobs []*Job) (*RunStats, error) {
+	sim, err := newSimulator(cfg, policy)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(jobs)
 }
 
 // SimulateWith runs jobs under a custom policy factory.

@@ -1,6 +1,7 @@
 package grass_test
 
 import (
+	"reflect"
 	"testing"
 
 	grass "github.com/approx-analytics/grass"
@@ -63,6 +64,54 @@ func TestHandBuiltJobs(t *testing.T) {
 	}
 	if stats.Results[1].DAGLength != 2 {
 		t.Fatal("DAG length lost")
+	}
+}
+
+// TestStreamedSimulationMatchesMaterialized pins the public streaming API:
+// StreamTrace+SimulateStream reproduce GenerateTrace+Simulate exactly, and
+// the fold variant delivers the same per-job results without accumulating.
+func TestStreamedSimulationMatchesMaterialized(t *testing.T) {
+	tc := smallTrace(grass.MixedBound, 4)
+	jobs, err := grass.GenerateTrace(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := grass.Simulate(smallSim(4), "grass", jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stream, err := grass.StreamTrace(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := grass.SimulateStream(smallSim(4), "grass", stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("streamed stats differ from materialized:\n got: %+v\nwant: %+v", got, want)
+	}
+
+	stream2, err := grass.StreamTrace(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded := make([]grass.JobResult, len(jobs))
+	agg, err := grass.SimulateStreamFold(smallSim(4), "grass", stream2, func(r grass.JobResult) {
+		folded[r.JobID] = r
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Results != nil {
+		t.Fatal("fold variant still accumulated results")
+	}
+	if !reflect.DeepEqual(folded, want.Results) {
+		t.Fatal("folded results differ from materialized results")
+	}
+	if _, err := grass.SimulateStreamFold(smallSim(4), "grass", stream2, nil); err == nil {
+		t.Fatal("nil fold func accepted")
 	}
 }
 

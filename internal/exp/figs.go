@@ -78,7 +78,12 @@ func (c Config) runScenarios(scs []scenario) ([]runSet, error) {
 		if sc.dag > 1 {
 			tc.DAGLength = sc.dag
 		}
-		jobs, err := trace.Generate(tc)
+		// Stream the trace instead of materializing it: RunSource pulls one
+		// job per arrival and recycles finished jobs through the stream's
+		// pool, so a worker's footprint tracks the jobs in flight. The
+		// results are identical to the materializing path (the golden tests
+		// pin that).
+		stream, err := trace.NewStream(tc)
 		if err != nil {
 			return err
 		}
@@ -94,7 +99,7 @@ func (c Config) runScenarios(scs []scenario) ([]runSet, error) {
 		if err != nil {
 			return err
 		}
-		stats, err := sim.Run(jobs)
+		stats, err := sim.RunSource(stream)
 		if err != nil {
 			return fmt.Errorf("%s/%s/%s seed %d: %w", sc.w, sc.fw, p.name, seed, err)
 		}

@@ -138,13 +138,14 @@ func (c Config) TraceConfig(w trace.Workload, fw trace.Framework, b trace.BoundM
 }
 
 // Run simulates one (workload, framework, bound, policy, seed) cell and
-// returns its results.
+// returns its results. The trace is streamed into the simulator — identical
+// results to materializing it, without holding the whole trace.
 func (c Config) Run(w trace.Workload, fw trace.Framework, b trace.BoundMode, policy string, seed int64, dagLen int) ([]sched.JobResult, error) {
 	tc := c.TraceConfig(w, fw, b, seed)
 	if dagLen > 1 {
 		tc.DAGLength = dagLen
 	}
-	jobs, err := trace.Generate(tc)
+	stream, err := trace.NewStream(tc)
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +157,7 @@ func (c Config) Run(w trace.Workload, fw trace.Framework, b trace.BoundMode, pol
 	if err != nil {
 		return nil, err
 	}
-	stats, err := sim.Run(jobs)
+	stats, err := sim.RunSource(stream)
 	if err != nil {
 		return nil, err
 	}

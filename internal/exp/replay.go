@@ -1,0 +1,237 @@
+package exp
+
+// This file implements trace-scale streaming replays. The paper's
+// evaluation replays 575K Facebook and 500K Bing jobs; Replay reproduces
+// that regime by streaming a synthetic trace of any length through one
+// simulator in bounded memory — jobs are generated lazily, recycled when
+// they finish, per-job results are folded into running aggregates instead
+// of being retained, and the event engine recycles its event objects. A
+// heap high-water sampler reports the footprint so regressions that tie
+// memory back to the trace length are visible immediately.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/approx-analytics/grass/internal/sched"
+	"github.com/approx-analytics/grass/internal/task"
+	"github.com/approx-analytics/grass/internal/trace"
+)
+
+// ReplayConfig parameterizes one streaming replay.
+type ReplayConfig struct {
+	// Jobs is the trace length — a million-job replay is the intended use.
+	Jobs int
+	// Policy is the speculation policy name (NewFactory's set).
+	Policy string
+	// Workload, Framework, Bound select the synthetic trace. The zero Bound
+	// is trace.DeadlineBound; DefaultReplayConfig picks trace.MixedBound,
+	// the mixed production workload replays are normally run with.
+	Workload  trace.Workload
+	Framework trace.Framework
+	Bound     trace.BoundMode
+	// Machines and SlotsPerMachine size the cluster; 0 means the paper's
+	// 200×2.
+	Machines, SlotsPerMachine int
+	// Load is the offered load; 0 means 0.75 (busy but stable queues, the
+	// regime a replay must sustain for the whole trace).
+	Load float64
+	// Seed drives trace generation and the simulator.
+	Seed int64
+	// MemSample sets the heap sampling interval; 0 means 20ms.
+	MemSample time.Duration
+}
+
+// DefaultReplayConfig returns a mixed Facebook/Hadoop replay of n jobs —
+// the single source of the replay defaults. Replay falls back to these for
+// a zero Policy, Machines, SlotsPerMachine, Load and MemSample; Bound,
+// Workload, Framework and Seed are taken as given (their zero values are
+// meaningful: a deadline-bound Facebook/Hadoop trace with seed 0).
+func DefaultReplayConfig(n int) ReplayConfig {
+	return ReplayConfig{
+		Jobs:            n,
+		Policy:          "gs",
+		Workload:        trace.Facebook,
+		Framework:       trace.Hadoop,
+		Bound:           trace.MixedBound,
+		Machines:        200,
+		SlotsPerMachine: 2,
+		Load:            0.75,
+		Seed:            1,
+		MemSample:       20 * time.Millisecond,
+	}
+}
+
+// ReplayStats aggregates a streaming replay. Everything here is O(1) in the
+// trace length.
+type ReplayStats struct {
+	Jobs            int
+	Events          uint64
+	Makespan        float64
+	MeanUtilization float64
+	Wall            time.Duration
+
+	// Per-class aggregates: deadline jobs report mean accuracy, error-bound
+	// (and exact) jobs mean input duration — the paper's two headline axes.
+	DeadlineJobs     int
+	MeanAccuracy     float64
+	ErrorJobs        int
+	MeanInputDur     float64
+	BinCounts        [3]int // jobs per paper size bin
+	Launched, Killed int64  // copies launched / killed cluster-wide
+
+	// HeapHighWater is the peak sampled heap in use during the replay;
+	// HeapSysHighWater the peak heap claimed from the OS. Bounded-memory
+	// replays keep these flat as Jobs grows.
+	HeapHighWater    uint64
+	HeapSysHighWater uint64
+}
+
+// Render writes the replay summary as plain text.
+func (r *ReplayStats) Render(w io.Writer) {
+	fmt.Fprintf(w, "== Streaming replay: %d jobs, %d events, makespan %.0f, util %.2f [%v]\n",
+		r.Jobs, r.Events, r.Makespan, r.MeanUtilization, r.Wall.Round(time.Millisecond))
+	fmt.Fprintf(w, "%-24s %12d %12d %12d\n", "jobs per bin (<50/51-500/>500)", r.BinCounts[0], r.BinCounts[1], r.BinCounts[2])
+	fmt.Fprintf(w, "%-24s %12d   mean accuracy  %8.4f\n", "deadline jobs", r.DeadlineJobs, r.MeanAccuracy)
+	fmt.Fprintf(w, "%-24s %12d   mean input dur %8.2f\n", "error/exact jobs", r.ErrorJobs, r.MeanInputDur)
+	fmt.Fprintf(w, "%-24s %12d   killed %d\n", "copies launched", r.Launched, r.Killed)
+	fmt.Fprintf(w, "%-24s %9.1f MiB (heap in use), %.1f MiB (heap from OS)\n",
+		"memory high-water", float64(r.HeapHighWater)/(1<<20), float64(r.HeapSysHighWater)/(1<<20))
+}
+
+// memWatch samples the heap until stopped, keeping the maxima. Sampling
+// only observes the run — simulation results do not depend on it.
+type memWatch struct {
+	heap, sys atomic.Uint64
+	stop      chan struct{}
+	done      sync.WaitGroup
+}
+
+func startMemWatch(every time.Duration) *memWatch {
+	w := &memWatch{stop: make(chan struct{})}
+	w.sample()
+	w.done.Add(1)
+	go func() {
+		defer w.done.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				w.sample()
+			case <-w.stop:
+				return
+			}
+		}
+	}()
+	return w
+}
+
+func (w *memWatch) sample() {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	if m.HeapAlloc > w.heap.Load() {
+		w.heap.Store(m.HeapAlloc)
+	}
+	if m.HeapSys > w.sys.Load() {
+		w.sys.Store(m.HeapSys)
+	}
+}
+
+func (w *memWatch) finish() (heap, sys uint64) {
+	close(w.stop)
+	w.done.Wait()
+	w.sample()
+	return w.heap.Load(), w.sys.Load()
+}
+
+// Replay streams cfg.Jobs jobs through one simulator and returns the
+// aggregates. Memory stays bounded for any trace length: the trace is
+// generated lazily with finished jobs recycled, results are folded as they
+// arrive, and the simulator's own state tracks the in-flight set.
+func Replay(cfg ReplayConfig) (*ReplayStats, error) {
+	if cfg.Jobs <= 0 {
+		return nil, fmt.Errorf("exp: replay of %d jobs", cfg.Jobs)
+	}
+	def := DefaultReplayConfig(cfg.Jobs)
+	if cfg.Policy == "" {
+		cfg.Policy = def.Policy
+	}
+	if cfg.Machines == 0 {
+		cfg.Machines = def.Machines
+	}
+	if cfg.SlotsPerMachine == 0 {
+		cfg.SlotsPerMachine = def.SlotsPerMachine
+	}
+	if cfg.Load == 0 {
+		cfg.Load = def.Load
+	}
+	if cfg.MemSample == 0 {
+		cfg.MemSample = def.MemSample
+	}
+
+	tc := trace.DefaultConfig(cfg.Workload, cfg.Framework, cfg.Bound)
+	tc.Jobs = cfg.Jobs
+	tc.Seed = cfg.Seed
+	tc.Slots = cfg.Machines * cfg.SlotsPerMachine
+	tc.Load = cfg.Load
+	stream, err := trace.NewStream(tc)
+	if err != nil {
+		return nil, err
+	}
+
+	factory, oracleMode, err := NewFactory(cfg.Policy, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	scfg := sched.DefaultConfig()
+	scfg.Cluster.Machines = cfg.Machines
+	scfg.Cluster.SlotsPerMachine = cfg.SlotsPerMachine
+	scfg.Seed = cfg.Seed
+	scfg.Oracle = oracleMode
+	// The default event ceiling guards tests; a million-job replay
+	// legitimately fires hundreds of millions of events.
+	scfg.MaxEvents = uint64(cfg.Jobs)*2000 + 1_000_000
+	sim, err := sched.New(scfg, factory)
+	if err != nil {
+		return nil, err
+	}
+
+	rs := &ReplayStats{Jobs: cfg.Jobs}
+	var accSum, durSum float64
+	sim.OnResult(func(r sched.JobResult) {
+		rs.BinCounts[int(r.Bin)]++
+		if r.Kind == task.DeadlineBound {
+			rs.DeadlineJobs++
+			accSum += r.Accuracy
+		} else {
+			rs.ErrorJobs++
+			durSum += r.InputDuration
+		}
+		rs.Launched += int64(r.Launched)
+		rs.Killed += int64(r.Killed)
+	})
+
+	watch := startMemWatch(cfg.MemSample)
+	t0 := time.Now()
+	stats, err := sim.RunSource(stream)
+	rs.Wall = time.Since(t0)
+	rs.HeapHighWater, rs.HeapSysHighWater = watch.finish()
+	if err != nil {
+		return nil, err
+	}
+	rs.Events = stats.Events
+	rs.Makespan = stats.Makespan
+	rs.MeanUtilization = stats.MeanUtilization
+	if rs.DeadlineJobs > 0 {
+		rs.MeanAccuracy = accSum / float64(rs.DeadlineJobs)
+	}
+	if rs.ErrorJobs > 0 {
+		rs.MeanInputDur = durSum / float64(rs.ErrorJobs)
+	}
+	return rs, nil
+}

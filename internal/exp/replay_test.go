@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// replayTestConfig is a small but real mixed replay: all three job classes,
+// speculation, deadlines and pooling all exercised.
+func replayTestConfig(jobs int) ReplayConfig {
+	rc := DefaultReplayConfig(jobs)
+	rc.Machines = 40
+	rc.Policy = "gs"
+	return rc
+}
+
+func TestReplayAggregates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full streaming replay")
+	}
+	// 250 jobs: all three classes and multi-wave jobs appear, while the
+	// test stays affordable under -race (the 100K CI smoke covers scale).
+	rs, err := Replay(replayTestConfig(250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.DeadlineJobs + rs.ErrorJobs; got != 250 {
+		t.Fatalf("classes sum to %d jobs, want 250", got)
+	}
+	if got := rs.BinCounts[0] + rs.BinCounts[1] + rs.BinCounts[2]; got != 250 {
+		t.Fatalf("bins sum to %d jobs, want 250", got)
+	}
+	// The mixed workload must actually mix.
+	if rs.DeadlineJobs == 0 || rs.ErrorJobs == 0 {
+		t.Fatalf("degenerate mix: %d deadline, %d error", rs.DeadlineJobs, rs.ErrorJobs)
+	}
+	if rs.MeanAccuracy <= 0 || rs.MeanAccuracy > 1 {
+		t.Fatalf("mean accuracy %v out of (0, 1]", rs.MeanAccuracy)
+	}
+	if rs.MeanInputDur <= 0 || rs.Makespan <= 0 || rs.Events == 0 || rs.Launched == 0 {
+		t.Fatalf("empty aggregates: %+v", rs)
+	}
+	if rs.HeapHighWater == 0 || rs.HeapSysHighWater == 0 {
+		t.Fatal("memory high-water not sampled")
+	}
+	var buf bytes.Buffer
+	rs.Render(&buf)
+	if !strings.Contains(buf.String(), "memory high-water") {
+		t.Fatalf("render missing memory line:\n%s", buf.String())
+	}
+}
+
+// TestReplayDeterministic: the memory sampler only observes — two replays
+// of the same config agree on every simulation-derived number.
+func TestReplayDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full streaming replay")
+	}
+	run := func(sample time.Duration) *ReplayStats {
+		rc := replayTestConfig(120)
+		rc.MemSample = sample
+		rs, err := Replay(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	a, b := run(5*time.Millisecond), run(40*time.Millisecond)
+	if a.Events != b.Events || a.Makespan != b.Makespan ||
+		a.MeanAccuracy != b.MeanAccuracy || a.MeanInputDur != b.MeanInputDur ||
+		a.Launched != b.Launched || a.Killed != b.Killed {
+		t.Fatalf("replay not deterministic:\n a: %+v\n b: %+v", a, b)
+	}
+}
+
+func TestReplayRejectsBadConfig(t *testing.T) {
+	if _, err := Replay(ReplayConfig{Jobs: 0}); err == nil {
+		t.Fatal("zero-job replay accepted")
+	}
+	rc := DefaultReplayConfig(10)
+	rc.Policy = "bogus"
+	if _, err := Replay(rc); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}

@@ -49,10 +49,24 @@ func benchJobs(n int) []*task.Job {
 	return jobs
 }
 
+// benchStream feeds the bench workload through the streaming admission
+// path (without pooling: the slice owns the jobs).
+type benchStream struct{ jobs []*task.Job }
+
+func (s *benchStream) Next() (*task.Job, bool) {
+	if len(s.jobs) == 0 {
+		return nil, false
+	}
+	j := s.jobs[0]
+	s.jobs = s.jobs[1:]
+	return j, true
+}
+
 // runSimBench runs full simulations of the bench workload under one policy
 // and reports per-event wall clock and per-event heap allocations — the two
-// numbers BENCH_sim.json tracks across PRs.
-func runSimBench(b *testing.B, factory func() spec.Factory) {
+// numbers BENCH_sim.json tracks across PRs. With stream set, jobs are
+// injected through RunSource instead of the materializing Run.
+func runSimBench(b *testing.B, stream bool, factory func() spec.Factory) {
 	b.Helper()
 	jobs := benchJobs(60)
 	var events, allocs uint64
@@ -64,11 +78,16 @@ func runSimBench(b *testing.B, factory func() spec.Factory) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		run := func() (*RunStats, error) { return s.Run(jobs) }
+		if stream {
+			src := &benchStream{jobs: jobs}
+			run = func() (*RunStats, error) { return s.RunSource(src) }
+		}
 		var m0, m1 runtime.MemStats
 		runtime.ReadMemStats(&m0)
 		b.StartTimer()
 		t0 := time.Now()
-		stats, err := s.Run(jobs)
+		stats, err := run()
 		nanos += time.Since(t0).Nanoseconds()
 		b.StopTimer()
 		runtime.ReadMemStats(&m1)
@@ -91,13 +110,18 @@ func runSimBench(b *testing.B, factory func() spec.Factory) {
 // exercises the percentile machinery of the LATE baseline.
 func BenchmarkSimulatorQuick(b *testing.B) {
 	b.Run("gs", func(b *testing.B) {
-		runSimBench(b, func() spec.Factory { return spec.Stateless(spec.NewGS()) })
+		runSimBench(b, false, func() spec.Factory { return spec.Stateless(spec.NewGS()) })
 	})
 	b.Run("ras", func(b *testing.B) {
-		runSimBench(b, func() spec.Factory { return spec.Stateless(spec.NewRAS()) })
+		runSimBench(b, false, func() spec.Factory { return spec.Stateless(spec.NewRAS()) })
 	})
 	b.Run("late", func(b *testing.B) {
-		runSimBench(b, func() spec.Factory { return spec.Stateless(spec.NewLATE()) })
+		runSimBench(b, false, func() spec.Factory { return spec.Stateless(spec.NewLATE()) })
+	})
+	// The streaming admission path (RunSource) on the same workload: one
+	// reusable arrival closure instead of one closure per job.
+	b.Run("gs-stream", func(b *testing.B) {
+		runSimBench(b, true, func() spec.Factory { return spec.Stateless(spec.NewGS()) })
 	})
 }
 

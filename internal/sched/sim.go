@@ -171,8 +171,28 @@ type Simulator struct {
 	dheap []*jobState
 
 	// interObs records intermediate-phase spans by DAG length, the basis of
-	// §5.2's deadline decomposition for multi-phase jobs.
+	// §5.2's deadline decomposition for multi-phase jobs. Capped at
+	// maxInterObs samples per length so DAG replays stay bounded. interMed
+	// caches each length's median (admissions vastly outnumber appends in a
+	// long replay; an entry is dropped when its sample list grows).
 	interObs map[int][]float64
+	interMed map[int]float64
+
+	// Streaming admission state (RunSource): the source being drained, its
+	// optional recycler, the job whose arrival event is pending, the shared
+	// arrival closure, and the monotonicity watermark. srcErr records a
+	// mid-stream validation failure; admission stops and the error surfaces
+	// once running jobs drain.
+	src         Source
+	rel         Releaser
+	pendingJob  *task.Job
+	arrivalFn   func(*simevent.Engine)
+	prevArrival float64
+	srcErr      error
+
+	// onResult, when set, receives each finished job's result instead of
+	// s.results accumulating them.
+	onResult func(JobResult)
 
 	utilIntegral float64
 	lastUtilT    float64
@@ -268,6 +288,7 @@ func New(cfg Config, factory spec.Factory) (*Simulator, error) {
 		rngDur:   root.Split(),
 		rngEst:   root.Split(),
 		interObs: make(map[int][]float64),
+		interMed: make(map[int]float64),
 	}
 	var err error
 	if s.cl, err = cluster.New(cfg.Cluster, clRNG); err != nil {
@@ -294,8 +315,9 @@ func New(cfg Config, factory spec.Factory) (*Simulator, error) {
 	return s, nil
 }
 
-// Run simulates the trace to completion and returns aggregate statistics.
-// jobs must be sorted by arrival time.
+// Run simulates a materialized trace to completion and returns aggregate
+// statistics. jobs must be sorted by arrival time; the whole trace is
+// validated up front. For traces too large to materialize, use RunSource.
 func (s *Simulator) Run(jobs []*task.Job) (*RunStats, error) {
 	prev := math.Inf(-1)
 	for _, j := range jobs {
@@ -307,8 +329,16 @@ func (s *Simulator) Run(jobs []*task.Job) (*RunStats, error) {
 		}
 		prev = j.Arrival
 		j := j
-		s.eng.At(j.Arrival, func(*simevent.Engine) { s.admit(j) })
+		// AtFirst: arrivals outrank same-time simulation events, so the
+		// admission order at tied timestamps matches RunSource's exactly.
+		s.eng.AtFirst(j.Arrival, func(*simevent.Engine) { s.admit(j) })
 	}
+	return s.finishRun()
+}
+
+// finishRun drains the event queue and assembles the run statistics — the
+// shared tail of Run and RunSource.
+func (s *Simulator) finishRun() (*RunStats, error) {
 	limit := s.cfg.MaxEvents
 	if limit == 0 {
 		limit = 50_000_000
@@ -316,11 +346,16 @@ func (s *Simulator) Run(jobs []*task.Job) (*RunStats, error) {
 	if _, err := s.eng.Run(limit); err != nil {
 		return nil, err
 	}
+	if s.srcErr != nil {
+		return nil, s.srcErr
+	}
 	if len(s.active) > 0 {
 		return nil, fmt.Errorf("sched: event queue drained with %d jobs unfinished (policy %s declined forever?)",
 			len(s.active), s.factory.Name())
 	}
-	sort.Slice(s.results, func(i, j int) bool { return s.results[i].JobID < s.results[j].JobID })
+	if s.onResult == nil {
+		sort.Slice(s.results, func(i, j int) bool { return s.results[i].JobID < s.results[j].JobID })
+	}
 	makespan := s.eng.Now()
 	s.noteUtil()
 	stats := &RunStats{
@@ -392,7 +427,12 @@ func (s *Simulator) intermediateEstimate(j *task.Job) float64 {
 		return 0
 	}
 	if obs := s.interObs[j.DAGLength()]; len(obs) >= 3 {
-		return dist.Median(obs)
+		med, ok := s.interMed[j.DAGLength()]
+		if !ok {
+			med = dist.Median(obs)
+			s.interMed[j.DAGLength()] = med
+		}
+		return med
 	}
 	share := s.fairShare(1)
 	meanFactor := s.interDist.Mean()
@@ -932,6 +972,12 @@ func (s *Simulator) stragglerRatio(p *phaseRun) float64 {
 	return dist.Max(spans) / med
 }
 
+// maxInterObs caps the per-DAG-length intermediate-span observations that
+// feed intermediateEstimate: the median of thousands of samples no longer
+// moves, and without a cap a million-job DAG replay would grow the list
+// forever.
+const maxInterObs = 4096
+
 // finishJob records the result and notifies learning policies.
 func (s *Simulator) finishJob(js *jobState) {
 	now := s.eng.Now()
@@ -939,8 +985,9 @@ func (s *Simulator) finishJob(js *jobState) {
 	js.phase = nil
 	s.removeDemand(js)
 	js.res.Duration = now - js.job.Arrival
-	if js.job.DAGLength() > 1 {
-		s.interObs[js.job.DAGLength()] = append(s.interObs[js.job.DAGLength()], now-js.inputEnd)
+	if dl := js.job.DAGLength(); dl > 1 && len(s.interObs[dl]) < maxInterObs {
+		s.interObs[dl] = append(s.interObs[dl], now-js.inputEnd)
+		delete(s.interMed, dl)
 	}
 	if ob, ok := js.policy.(spec.Observer); ok {
 		ctx := spec.Ctx{
@@ -956,7 +1003,11 @@ func (s *Simulator) finishJob(js *jobState) {
 		}
 		ob.OnJobEnd(ctx, js.res.Accuracy, js.res.InputDuration)
 	}
-	s.results = append(s.results, js.res)
+	if s.onResult != nil {
+		s.onResult(js.res)
+	} else {
+		s.results = append(s.results, js.res)
+	}
 	// Compact the active list.
 	keep := s.active[:0]
 	for _, a := range s.active {
@@ -965,4 +1016,6 @@ func (s *Simulator) finishJob(js *jobState) {
 		}
 	}
 	s.active = keep
+	// Nothing reads js.job past this point: recycle it.
+	s.releaseJob(js)
 }

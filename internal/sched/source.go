@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/approx-analytics/grass/internal/simevent"
+	"github.com/approx-analytics/grass/internal/task"
+)
+
+// Source is a streaming admission source: it yields jobs one at a time in
+// non-decreasing arrival order. trace.Stream implements it; so does any
+// importer of a real cluster log. The simulator pulls the next job only
+// when the previous one's arrival event fires, so a replay holds one
+// not-yet-arrived job in memory — never the whole trace.
+type Source interface {
+	// Next returns the next job, or (nil, false) when the trace ends.
+	Next() (*task.Job, bool)
+}
+
+// Releaser is implemented by sources that recycle finished jobs (e.g.
+// trace.Stream's pool). When the admission source implements it, the
+// simulator hands every job back as soon as its result is recorded, which
+// keeps a replay's job memory proportional to the jobs in flight.
+type Releaser interface {
+	Release(*task.Job)
+}
+
+// OnResult registers fn to receive each job's result the moment the job
+// finishes, instead of accumulating results in RunStats.Results. Aggregates
+// (Makespan, MeanUtilization, Events, EstimatorAccuracy) are still filled
+// in. This is the other half of bounded-memory replays: with a handler
+// installed nothing the simulator retains grows with the trace length.
+// Results arrive in completion order, not job-ID order. Must be set before
+// Run/RunSource.
+func (s *Simulator) OnResult(fn func(JobResult)) { s.onResult = fn }
+
+// RunSource simulates a streamed trace to completion: each job is injected
+// as an arrival event, and the next job is pulled from src only when the
+// previous arrival fires. If src implements Releaser, finished jobs are
+// handed back for reuse. The results are identical to materializing the
+// same trace and calling Run.
+func (s *Simulator) RunSource(src Source) (*RunStats, error) {
+	if src == nil {
+		return nil, fmt.Errorf("sched: nil job source")
+	}
+	s.src = src
+	s.rel, _ = src.(Releaser)
+	s.prevArrival = math.Inf(-1)
+	// One reusable arrival closure: the pending job rides in a field, so a
+	// million-job replay schedules a million arrivals without allocating a
+	// million closures.
+	s.arrivalFn = func(*simevent.Engine) { s.onArrival() }
+	if err := s.scheduleNextArrival(); err != nil {
+		return nil, err
+	}
+	return s.finishRun()
+}
+
+// scheduleNextArrival pulls one job and schedules its arrival. Validation
+// happens lazily, as jobs are pulled — a mid-stream error stops admission
+// and surfaces once running jobs drain.
+func (s *Simulator) scheduleNextArrival() error {
+	j, ok := s.src.Next()
+	if !ok {
+		return nil
+	}
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	if j.Arrival < s.prevArrival {
+		return fmt.Errorf("sched: jobs not sorted by arrival (job %d at %v after %v)", j.ID, j.Arrival, s.prevArrival)
+	}
+	s.prevArrival = j.Arrival
+	s.pendingJob = j
+	// AtFirst ranks the arrival ahead of same-time simulation events that
+	// were enqueued before this job was even pulled — the order the
+	// materializing Run (which schedules all arrivals up front) produces.
+	s.eng.AtFirst(j.Arrival, s.arrivalFn)
+	return nil
+}
+
+// onArrival admits the pending job and pulls the next one. Pulling before
+// admission keeps the not-yet-arrived lookahead at exactly one job; the
+// tie ordering against simulation events is carried by AtFirst.
+func (s *Simulator) onArrival() {
+	j := s.pendingJob
+	s.pendingJob = nil
+	if err := s.scheduleNextArrival(); err != nil && s.srcErr == nil {
+		s.srcErr = err // stop admitting; drain what is already running
+	}
+	s.admit(j)
+}
+
+// releaseJob hands a finished job back to a recycling source.
+func (s *Simulator) releaseJob(js *jobState) {
+	if s.rel != nil {
+		s.rel.Release(js.job)
+		js.job = nil
+	}
+}

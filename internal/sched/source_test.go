@@ -1,0 +1,259 @@
+package sched
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/approx-analytics/grass/internal/spec"
+	"github.com/approx-analytics/grass/internal/task"
+	"github.com/approx-analytics/grass/internal/trace"
+)
+
+// sourceTestTrace is the trace the equivalence tests replay: mixed bound
+// kinds on a small cluster, big enough for fair-share preemption, deadlines
+// and speculation to all trigger.
+func sourceTestTrace(dag int) trace.Config {
+	tc := trace.DefaultConfig(trace.Facebook, trace.Hadoop, trace.MixedBound)
+	tc.Jobs = 80
+	tc.Slots = 80
+	tc.Seed = 11
+	if dag > 1 {
+		tc.DAGLength = dag
+	}
+	return tc
+}
+
+func sourceTestConfig() Config {
+	c := benchConfig(5)
+	c.Cluster.Machines = 40
+	return c
+}
+
+func policyUnderTest(t *testing.T, name string) spec.Factory {
+	t.Helper()
+	switch name {
+	case "gs":
+		return spec.Stateless(spec.NewGS())
+	case "ras":
+		return spec.Stateless(spec.NewRAS())
+	case "late":
+		return spec.Stateless(spec.NewLATE())
+	case "mantri":
+		return spec.Stateless(spec.NewMantri())
+	case "nospec":
+		return spec.Stateless(spec.NoSpec{})
+	default:
+		t.Fatalf("unknown test policy %q", name)
+		return nil
+	}
+}
+
+// TestRunSourceMatchesRun is the streaming pipeline's acceptance guarantee
+// at the simulator layer: replaying a trace from a pooled stream produces
+// RunStats identical — results, makespan, utilization, event count — to
+// materializing the same trace and calling Run.
+func TestRunSourceMatchesRun(t *testing.T) {
+	for _, dag := range []int{1, 3} {
+		for _, pol := range []string{"gs", "ras", "late", "mantri", "nospec"} {
+			tc := sourceTestTrace(dag)
+			jobs, err := trace.Generate(tc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			simA, err := New(sourceTestConfig(), policyUnderTest(t, pol))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := simA.Run(jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream, err := trace.NewStream(tc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			simB, err := New(sourceTestConfig(), policyUnderTest(t, pol))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := simB.RunSource(stream)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("dag=%d policy=%s: streamed RunStats differ from materialized run\n got: %+v\nwant: %+v",
+					dag, pol, got, want)
+			}
+		}
+	}
+}
+
+// countingStream wraps trace.Stream to count pool traffic.
+type countingStream struct {
+	*trace.Stream
+	released int
+}
+
+func (c *countingStream) Release(j *task.Job) {
+	c.released++
+	c.Stream.Release(j)
+}
+
+// TestRunSourceReleasesJobs: every finished job goes back to the stream's
+// pool, so replay memory tracks the in-flight set, not the trace length.
+func TestRunSourceReleasesJobs(t *testing.T) {
+	tc := sourceTestTrace(1)
+	stream, err := trace.NewStream(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := &countingStream{Stream: stream}
+	sim, err := New(sourceTestConfig(), spec.Stateless(spec.NewGS()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sim.RunSource(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Results) != tc.Jobs {
+		t.Fatalf("got %d results, want %d", len(stats.Results), tc.Jobs)
+	}
+	if cs.released != tc.Jobs {
+		t.Fatalf("released %d jobs back to the pool, want %d", cs.released, tc.Jobs)
+	}
+}
+
+// TestOnResultStreamsResults: with a result handler installed the simulator
+// retains no per-job results, and the streamed results (sorted by job ID)
+// match the accumulated ones exactly.
+func TestOnResultStreamsResults(t *testing.T) {
+	tc := sourceTestTrace(1)
+	jobs, err := trace.Generate(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simA, err := New(sourceTestConfig(), spec.Stateless(spec.NewRAS()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := simA.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stream, err := trace.NewStream(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simB, err := New(sourceTestConfig(), spec.Stateless(spec.NewRAS()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]JobResult, 0, tc.Jobs)
+	simB.OnResult(func(r JobResult) { got = append(got, r) })
+	stats, err := simB.RunSource(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Results != nil {
+		t.Fatalf("simulator accumulated %d results despite handler", len(stats.Results))
+	}
+	if stats.Makespan != want.Makespan || stats.Events != want.Events {
+		t.Fatalf("aggregates differ: makespan %v/%v events %d/%d",
+			stats.Makespan, want.Makespan, stats.Events, want.Events)
+	}
+	byID := make([]JobResult, len(got))
+	for _, r := range got {
+		byID[r.JobID] = r
+	}
+	if !reflect.DeepEqual(byID, want.Results) {
+		t.Fatal("streamed results differ from accumulated results")
+	}
+}
+
+// fakeSource yields a fixed job list without validation or pooling.
+type fakeSource struct {
+	jobs []*task.Job
+}
+
+func (f *fakeSource) Next() (*task.Job, bool) {
+	if len(f.jobs) == 0 {
+		return nil, false
+	}
+	j := f.jobs[0]
+	f.jobs = f.jobs[1:]
+	return j, true
+}
+
+// TestRunSourceMatchesRunOnTiedTimestamps: real cluster logs quantize
+// timestamps, so arrivals routinely tie with each other and with earlier-
+// scheduled simulation events (here: job 0's input deadline lands exactly
+// on jobs 1 and 2's arrival). AtFirst ranks arrivals identically in both
+// paths, so the streamed replay still reproduces Run event for event.
+func TestRunSourceMatchesRunOnTiedTimestamps(t *testing.T) {
+	mkJobs := func() []*task.Job {
+		return []*task.Job{
+			uniformJob(0, 120, task.NewDeadline(5), 0),
+			uniformJob(1, 30, task.Exact(), 5),
+			uniformJob(2, 30, task.NewError(0.1), 5),
+		}
+	}
+	simA, err := New(sourceTestConfig(), spec.Stateless(spec.NewGS()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := simA.Run(mkJobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simB, err := New(sourceTestConfig(), spec.Stateless(spec.NewGS()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := simB.RunSource(&fakeSource{jobs: mkJobs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tied-timestamp stream diverged from materialized run\n got: %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestRunSourceRejectsUnsorted: out-of-order arrivals surface as an error
+// even when discovered mid-stream.
+func TestRunSourceRejectsUnsorted(t *testing.T) {
+	src := &fakeSource{jobs: []*task.Job{
+		uniformJob(0, 4, task.Exact(), 10),
+		uniformJob(1, 4, task.Exact(), 5),
+	}}
+	sim, err := New(sourceTestConfig(), spec.Stateless(spec.NoSpec{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunSource(src); err == nil || !strings.Contains(err.Error(), "not sorted") {
+		t.Fatalf("unsorted stream not rejected: %v", err)
+	}
+}
+
+// TestRunSourceRejectsInvalidJob: a mid-stream invalid job stops admission
+// and the error surfaces after running jobs drain.
+func TestRunSourceRejectsInvalidJob(t *testing.T) {
+	bad := uniformJob(1, 4, task.Exact(), 1)
+	bad.InputWork = nil
+	src := &fakeSource{jobs: []*task.Job{
+		uniformJob(0, 4, task.Exact(), 0),
+		bad,
+	}}
+	sim, err := New(sourceTestConfig(), spec.Stateless(spec.NoSpec{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.RunSource(src); err == nil || !strings.Contains(err.Error(), "no input tasks") {
+		t.Fatalf("invalid mid-stream job not rejected: %v", err)
+	}
+	if _, err := sim.RunSource(nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}

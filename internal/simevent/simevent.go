@@ -5,6 +5,17 @@
 // Events are arbitrary callbacks scheduled at absolute simulation times.
 // Ties are broken by insertion order (FIFO among equal timestamps) so that
 // runs are fully reproducible regardless of heap internals.
+//
+// # Event recycling
+//
+// Event objects are owned by the engine and recycled through a free list:
+// once an event has fired or been cancelled, the engine may hand the same
+// object back from a later At/After call. A *Event handle is therefore only
+// valid while its event is pending plus the window until the next schedule
+// call — callers must drop (or nil out) handles when the event fires or is
+// cancelled, and must not Cancel the same handle twice with scheduling in
+// between. Million-job replays schedule hundreds of millions of events;
+// recycling keeps them from being the simulator's dominant garbage.
 package simevent
 
 import (
@@ -18,7 +29,8 @@ type Event struct {
 	Time float64
 	Fn   func(*Engine)
 
-	seq   uint64 // insertion order, breaks timestamp ties
+	class uint8  // tie rank: AtFirst events (0) fire before At events (1)
+	seq   uint64 // insertion order, breaks (timestamp, class) ties
 	index int    // heap index, -1 once popped or cancelled
 }
 
@@ -31,6 +43,7 @@ type Engine struct {
 	nextSq uint64
 	queue  eventHeap
 	fired  uint64
+	free   []*Event // recycled fired/cancelled events, see package doc
 }
 
 // New returns an engine with the clock at 0.
@@ -49,15 +62,46 @@ func (e *Engine) Fired() uint64 { return e.fired }
 func (e *Engine) Len() int { return len(e.queue) }
 
 // At schedules fn at absolute time t and returns the event handle. It panics
-// if t is before the current time — that would reorder history.
+// if t is before the current time — that would reorder history. The handle
+// comes from the engine's free list and is reclaimed when the event fires or
+// is cancelled (see the package doc for the handle-lifetime contract).
 func (e *Engine) At(t float64, fn func(*Engine)) *Event {
+	return e.schedule(t, 1, fn)
+}
+
+// AtFirst schedules fn at absolute time t ahead of every same-time event
+// scheduled with At, regardless of insertion order; ties among AtFirst
+// events keep FIFO order. The simulator schedules job arrivals with it so
+// that admission order at a tied timestamp does not depend on when the
+// arrival was enqueued — the property that makes streamed and materialized
+// replays identical even for traces with quantized (tie-prone) timestamps.
+func (e *Engine) AtFirst(t float64, fn func(*Engine)) *Event {
+	return e.schedule(t, 0, fn)
+}
+
+func (e *Engine) schedule(t float64, class uint8, fn func(*Engine)) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("simevent: scheduling at %v before now %v", t, e.now))
 	}
-	ev := &Event{Time: t, Fn: fn, seq: e.nextSq}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.Time, ev.Fn, ev.class, ev.seq = t, fn, class, e.nextSq
+	} else {
+		ev = &Event{Time: t, Fn: fn, class: class, seq: e.nextSq}
+	}
 	e.nextSq++
 	heap.Push(&e.queue, ev)
 	return ev
+}
+
+// recycle returns a dead event to the free list. The callback reference is
+// dropped so recycling never pins the scheduler state a closure captured.
+func (e *Engine) recycle(ev *Event) {
+	ev.Fn = nil
+	e.free = append(e.free, ev)
 }
 
 // After schedules fn delta time units from now.
@@ -76,6 +120,7 @@ func (e *Engine) Cancel(ev *Event) {
 	}
 	heap.Remove(&e.queue, ev.index)
 	ev.index = -2
+	e.recycle(ev)
 }
 
 // Step fires the next event, advancing the clock. It returns false when the
@@ -88,6 +133,9 @@ func (e *Engine) Step() bool {
 	e.now = ev.Time
 	e.fired++
 	ev.Fn(e)
+	// Recycle only after the callback returns: the callback may still read
+	// the handle (but must drop it afterwards — see the package doc).
+	e.recycle(ev)
 	return true
 }
 
@@ -120,13 +168,16 @@ func (e *Engine) RunUntil(t float64) {
 	}
 }
 
-// eventHeap orders by (Time, seq).
+// eventHeap orders by (Time, class, seq).
 type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].Time != h[j].Time {
 		return h[i].Time < h[j].Time
+	}
+	if h[i].class != h[j].class {
+		return h[i].class < h[j].class
 	}
 	return h[i].seq < h[j].seq
 }

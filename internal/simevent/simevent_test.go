@@ -177,6 +177,135 @@ func TestFiredCounter(t *testing.T) {
 	}
 }
 
+// TestAtFirstOutranksAt: an AtFirst event fires before every same-time At
+// event no matter the insertion order, while ties within each class stay
+// FIFO — the property that makes streamed job admission order identical to
+// the materialized schedule even at tied timestamps.
+func TestAtFirstOutranksAt(t *testing.T) {
+	e := New()
+	var got []string
+	e.At(1, func(*Engine) { got = append(got, "at0") })
+	e.At(1, func(*Engine) { got = append(got, "at1") })
+	e.AtFirst(1, func(*Engine) { got = append(got, "first0") })
+	e.AtFirst(1, func(*Engine) { got = append(got, "first1") })
+	e.At(0.5, func(*Engine) { got = append(got, "early") })
+	e.Run(0)
+	want := []string{"early", "first0", "first1", "at0", "at1"}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	// Recycling must preserve the class: a pooled ex-AtFirst event
+	// scheduled via At no longer outranks anything.
+	e.At(2, func(*Engine) { got = append(got, "late-at") })
+	e.AtFirst(2, func(*Engine) { got = append(got, "late-first") })
+	e.Run(0)
+	if got[len(got)-1] != "late-at" {
+		t.Fatalf("recycled event kept its old class: %v", got)
+	}
+}
+
+// TestEventPoolingNoAllocsAfterWarmup pins the free list's purpose: a
+// schedule/fire cycle on a warmed-up engine performs no heap allocation,
+// so long replays do not generate per-event garbage.
+func TestEventPoolingNoAllocsAfterWarmup(t *testing.T) {
+	e := New()
+	fn := func(*Engine) {}
+	// Warm up: populate the free list beyond the steady-state queue depth.
+	for i := 0; i < 64; i++ {
+		e.At(float64(i), fn)
+	}
+	e.Run(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		e.At(e.Now()+1, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+fire allocated %v objects per op after warm-up, want 0", allocs)
+	}
+	// Cancelled events are recycled too.
+	allocs = testing.AllocsPerRun(200, func() {
+		ev := e.At(e.Now()+1, fn)
+		e.Cancel(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+cancel allocated %v objects per op after warm-up, want 0", allocs)
+	}
+}
+
+// TestEventPoolingReusesObjects verifies fired and cancelled events really
+// come back from the free list (identity, not just alloc counting).
+func TestEventPoolingReusesObjects(t *testing.T) {
+	e := New()
+	a := e.At(1, func(*Engine) {})
+	e.Cancel(a)
+	b := e.At(2, func(*Engine) {})
+	if a != b {
+		t.Fatal("cancelled event was not recycled by the next At")
+	}
+	if b.Cancelled() {
+		t.Fatal("recycled event still reports Cancelled")
+	}
+	e.Run(0)
+	c := e.At(3, func(*Engine) {})
+	if c != b {
+		t.Fatal("fired event was not recycled by the next At")
+	}
+	e.Run(0)
+}
+
+// TestCancelledSemanticsWithPooling: the Cancelled query stays correct for
+// the window the handle contract allows — after Cancel and before the
+// object is handed out again.
+func TestCancelledSemanticsWithPooling(t *testing.T) {
+	e := New()
+	fired := false
+	keep := e.At(1, func(*Engine) { fired = true })
+	e.Cancel(keep)
+	if !keep.Cancelled() {
+		t.Fatal("Cancelled() false immediately after Cancel")
+	}
+	// Double cancel of a not-yet-reused handle stays a no-op.
+	e.Cancel(keep)
+	e.Run(0)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// A pending event never reports cancelled; a fired one neither.
+	p := e.At(5, func(*Engine) {})
+	if p.Cancelled() {
+		t.Fatal("pending event reports Cancelled")
+	}
+	e.Run(0)
+}
+
+// TestPoolingPreservesFIFO: recycling must not disturb the (Time, seq)
+// total order — a recycled object carries a fresh sequence number.
+func TestPoolingPreservesFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	// Round 1 populates the free list.
+	for i := 0; i < 8; i++ {
+		e.At(1, func(*Engine) {})
+	}
+	e.Run(0)
+	// Round 2 reuses it; ties must still fire in insertion order.
+	for i := 0; i < 8; i++ {
+		i := i
+		e.At(2, func(*Engine) { got = append(got, i) })
+	}
+	e.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break not FIFO after recycling: %v", got)
+		}
+	}
+}
+
 func TestOrderingProperty(t *testing.T) {
 	// For arbitrary non-negative schedules, events always fire in
 	// non-decreasing time order and all fire exactly once.

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"github.com/approx-analytics/grass/internal/dist"
+	"github.com/approx-analytics/grass/internal/task"
+)
+
+// Stream generates a trace lazily, one job per Next call, in arrival order.
+// For a given Config (seed included) the emitted job sequence is
+// byte-identical to Generate's: both draw from the same seeded RNG streams
+// in the same order — Generate is just Stream plus materialization.
+//
+// Stream exists for replays at the paper's trace sizes (575K Facebook /
+// 500K Bing jobs): materializing a million jobs costs gigabytes, while a
+// stream keeps only the job being handed out. Callers that are done with a
+// job (e.g. the simulator once the job finishes) can Release it back to the
+// stream's pool, making a full replay's trace memory proportional to the
+// number of jobs in flight, not the trace length.
+//
+// Stream implements the simulator's admission-source interface
+// (sched.Source / sched.Releaser). It is not safe for concurrent use.
+type Stream struct {
+	cfg   Config
+	scale float64
+
+	sizeRNG  *dist.RNG
+	workRNG  *dist.RNG
+	boundRNG *dist.RNG
+	arrRNG   *dist.RNG
+
+	next int     // jobs emitted so far; the next job's ID
+	now  float64 // next job's arrival time
+
+	pool []*task.Job // released jobs awaiting reuse
+}
+
+// NewStream validates cfg and positions a stream at the first job.
+func NewStream(cfg Config) (*Stream, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := dist.NewRNG(cfg.Seed)
+	return &Stream{
+		cfg:      cfg,
+		scale:    cfg.taskScale(),
+		sizeRNG:  rng.Split(),
+		workRNG:  rng.Split(),
+		boundRNG: rng.Split(),
+		arrRNG:   rng.Split(),
+	}, nil
+}
+
+// Next returns the next job in arrival order, or (nil, false) once cfg.Jobs
+// jobs have been emitted. The returned job is owned by the caller until it
+// is passed to Release (releasing is optional — an unreleased job is plain
+// garbage-collected memory).
+func (s *Stream) Next() (*task.Job, bool) {
+	if s.next >= s.cfg.Jobs {
+		return nil, false
+	}
+	j := s.take()
+	s.fill(j)
+	return j, true
+}
+
+// Release returns a job to the stream's pool so a later Next can reuse its
+// backing arrays. The caller must not retain references into the job after
+// releasing it. Releasing nil is a no-op.
+func (s *Stream) Release(j *task.Job) {
+	if j == nil {
+		return
+	}
+	s.pool = append(s.pool, j)
+}
+
+// Remaining reports how many jobs the stream will still emit.
+func (s *Stream) Remaining() int { return s.cfg.Jobs - s.next }
+
+// take pops a pooled job or mints a fresh one.
+func (s *Stream) take() *task.Job {
+	if n := len(s.pool); n > 0 {
+		j := s.pool[n-1]
+		s.pool[n-1] = nil
+		s.pool = s.pool[:n-1]
+		return j
+	}
+	return &task.Job{}
+}
+
+// fill generates one job in place. Every field is overwritten (pooled jobs
+// carry stale values) and the RNG draw order exactly matches the original
+// materializing generator, so pooling cannot change the trace.
+func (s *Stream) fill(j *task.Job) {
+	cfg := s.cfg
+	n := sampleSize(cfg, s.sizeRNG)
+	if cap(j.InputWork) >= n {
+		j.InputWork = j.InputWork[:n]
+	} else {
+		j.InputWork = make([]float64, n)
+	}
+	sizeDist := dist.Lognormal{Mu: 0, Sigma: 0.8}
+	for i := range j.InputWork {
+		// Per-task data-size skew around the framework scale (median 1,
+		// lognormal spread — the data skew of [19] that makes SJF/LJF
+		// ordering matter). The simulator multiplies by the straggler
+		// factor on top.
+		f := sizeDist.Sample(s.workRNG)
+		if f < 0.1 {
+			f = 0.1
+		}
+		if f > 20 {
+			f = 20
+		}
+		j.InputWork[i] = s.scale * f
+	}
+	j.ID = s.next
+	j.Arrival = s.now
+	j.Bound = task.Bound{}
+	j.DeadlineFactor = 0
+	j.IdealDuration = 0
+	if dag := cfg.DAGLength; dag > 1 {
+		if cap(j.Phases) >= dag-1 {
+			j.Phases = j.Phases[:dag-1]
+		} else {
+			j.Phases = make([]task.Phase, dag-1)
+		}
+		for p := range j.Phases {
+			// Intermediate phases aggregate: roughly a tenth of the
+			// input task count, similar per-task work.
+			nt := n / 10
+			if nt < 1 {
+				nt = 1
+			}
+			j.Phases[p] = task.Phase{NumTasks: nt, WorkScale: s.scale}
+		}
+	} else {
+		j.Phases = nil
+	}
+	assignBound(cfg, j, s.boundRNG)
+	s.next++
+	// Poisson arrivals: mean spacing makes the trace's real work
+	// (ideal × straggler inflation) consume cfg.Load of the cluster.
+	inflation := cfg.WorkInflation
+	if inflation == 0 {
+		inflation = 1.75
+	}
+	spacing := j.TotalWork() * inflation / (float64(cfg.Slots) * cfg.Load)
+	s.now += dist.Exponential{Mu: spacing}.Sample(s.arrRNG)
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/approx-analytics/grass/internal/task"
+)
+
+// streamConfigs spans the generator's behavioural axes: workload, framework,
+// every bound mode (including mixed), and DAG jobs.
+func streamConfigs() []Config {
+	var cfgs []Config
+	for _, w := range []Workload{Facebook, Bing} {
+		for _, b := range []BoundMode{DeadlineBound, ErrorBound, ExactBound, MixedBound} {
+			c := DefaultConfig(w, Hadoop, b)
+			c.Jobs = 60
+			cfgs = append(cfgs, c)
+		}
+	}
+	spark := DefaultConfig(Facebook, Spark, ErrorBound)
+	spark.Jobs = 60
+	cfgs = append(cfgs, spark)
+	dag := DefaultConfig(Bing, Hadoop, DeadlineBound)
+	dag.Jobs = 40
+	dag.DAGLength = 4
+	cfgs = append(cfgs, dag)
+	return cfgs
+}
+
+// cloneJob deep-copies a job so comparisons survive pooling's reuse of the
+// original's backing arrays.
+func cloneJob(j *task.Job) *task.Job {
+	c := *j
+	c.InputWork = append([]float64(nil), j.InputWork...)
+	if j.Phases != nil {
+		c.Phases = append([]task.Phase(nil), j.Phases...)
+	}
+	return &c
+}
+
+// TestStreamMatchesGenerate is the streaming pipeline's core guarantee: for
+// any config, the lazily emitted job sequence is identical — field for
+// field — to the materialized trace from the same seed.
+func TestStreamMatchesGenerate(t *testing.T) {
+	for _, cfg := range streamConfigs() {
+		want, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewStream(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Remaining(); got != cfg.Jobs {
+			t.Fatalf("%v/%v: Remaining() = %d before first job, want %d", cfg.Workload, cfg.Bound, got, cfg.Jobs)
+		}
+		for i := 0; ; i++ {
+			j, ok := s.Next()
+			if !ok {
+				if i != len(want) {
+					t.Fatalf("%v/%v: stream ended after %d jobs, want %d", cfg.Workload, cfg.Bound, i, len(want))
+				}
+				break
+			}
+			if !reflect.DeepEqual(j, want[i]) {
+				t.Fatalf("%v/%v: streamed job %d differs from generated:\n stream: %+v\n generate: %+v",
+					cfg.Workload, cfg.Bound, i, j, want[i])
+			}
+		}
+		if _, ok := s.Next(); ok {
+			t.Fatalf("%v/%v: Next returned a job past the end", cfg.Workload, cfg.Bound)
+		}
+	}
+}
+
+// TestStreamPoolingPreservesTrace releases every job straight back to the
+// pool and checks reuse cannot perturb later jobs: values still match the
+// materialized trace, and the pooled objects really are recycled.
+func TestStreamPoolingPreservesTrace(t *testing.T) {
+	cfg := DefaultConfig(Facebook, Hadoop, MixedBound)
+	cfg.Jobs = 120
+	cfg.DAGLength = 3
+	want, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev *task.Job
+	reused := false
+	for i := 0; ; i++ {
+		j, ok := s.Next()
+		if !ok {
+			break
+		}
+		if j == prev {
+			reused = true
+		}
+		if !reflect.DeepEqual(j, want[i]) {
+			t.Fatalf("pooled stream job %d differs from generated trace", i)
+		}
+		s.Release(j)
+		prev = j
+	}
+	if !reused {
+		t.Fatal("released jobs were never reused by the pool")
+	}
+	s.Release(nil) // no-op
+}
+
+// TestMixedBoundComposition checks the mixed workload really carries all
+// three job classes with valid bounds.
+func TestMixedBoundComposition(t *testing.T) {
+	cfg := DefaultConfig(Facebook, Hadoop, MixedBound)
+	cfg.Jobs = 400
+	jobs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deadline, errBound, exact int
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatalf("job %d invalid: %v", j.ID, err)
+		}
+		switch {
+		case j.Bound.Kind == task.DeadlineBound:
+			deadline++
+			if j.DeadlineFactor <= 0 || j.IdealDuration <= 0 {
+				t.Fatalf("job %d: deadline job without calibration (factor %v, ideal %v)",
+					j.ID, j.DeadlineFactor, j.IdealDuration)
+			}
+		case j.Bound.Epsilon > 0:
+			errBound++
+		default:
+			exact++
+		}
+	}
+	// 45/45/10 split over 400 jobs: each class must clearly show up.
+	if deadline < 100 || errBound < 100 || exact < 10 {
+		t.Fatalf("mixed composition off: %d deadline, %d error, %d exact", deadline, errBound, exact)
+	}
+}
+
+// TestBoundModeValidation: unknown modes are rejected, mixed is accepted.
+func TestBoundModeValidation(t *testing.T) {
+	c := DefaultConfig(Facebook, Hadoop, MixedBound)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("mixed bound rejected: %v", err)
+	}
+	c.Bound = BoundMode(99)
+	if c.Validate() == nil {
+		t.Fatal("unknown bound mode accepted")
+	}
+	if got := MixedBound.String(); got != "mixed" {
+		t.Fatalf("MixedBound.String() = %q", got)
+	}
+}

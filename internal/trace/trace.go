@@ -19,6 +19,7 @@ package trace
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"github.com/approx-analytics/grass/internal/dist"
 	"github.com/approx-analytics/grass/internal/task"
@@ -46,6 +47,18 @@ func (w Workload) String() string {
 	}
 }
 
+// ParseWorkload resolves a workload name ("facebook"/"fb", "bing").
+func ParseWorkload(s string) (Workload, error) {
+	switch strings.ToLower(s) {
+	case "facebook", "fb":
+		return Facebook, nil
+	case "bing":
+		return Bing, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown workload %q", s)
+	}
+}
+
 // Framework selects the execution-engine regime.
 type Framework int
 
@@ -69,6 +82,18 @@ func (f Framework) String() string {
 	}
 }
 
+// ParseFramework resolves a framework name ("hadoop", "spark").
+func ParseFramework(s string) (Framework, error) {
+	switch strings.ToLower(s) {
+	case "hadoop":
+		return Hadoop, nil
+	case "spark":
+		return Spark, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown framework %q", s)
+	}
+}
+
 // BoundMode selects how jobs are bounded.
 type BoundMode int
 
@@ -80,7 +105,45 @@ const (
 	ErrorBound
 	// ExactBound gives every job a zero error bound (exact computation).
 	ExactBound
+	// MixedBound draws each job's bound kind independently — 45% deadline,
+	// 45% error, 10% exact — approximating a production cluster that serves
+	// every query class at once. This is the workload the million-job
+	// streaming replays run.
+	MixedBound
 )
+
+// ParseBound resolves a bound-mode name — the inverse of String, shared by
+// every command-line frontend so a new mode is added in one place.
+func ParseBound(s string) (BoundMode, error) {
+	switch strings.ToLower(s) {
+	case "deadline":
+		return DeadlineBound, nil
+	case "error":
+		return ErrorBound, nil
+	case "exact":
+		return ExactBound, nil
+	case "mixed":
+		return MixedBound, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown bound mode %q", s)
+	}
+}
+
+// String returns the bound-mode name.
+func (b BoundMode) String() string {
+	switch b {
+	case DeadlineBound:
+		return "deadline"
+	case ErrorBound:
+		return "error"
+	case ExactBound:
+		return "exact"
+	case MixedBound:
+		return "mixed"
+	default:
+		return fmt.Sprintf("BoundMode(%d)", int(b))
+	}
+}
 
 // Config parameterizes trace generation.
 type Config struct {
@@ -142,6 +205,9 @@ func (c Config) Validate() error {
 	if c.DAGLength < 0 {
 		return fmt.Errorf("trace: negative DAG length %d", c.DAGLength)
 	}
+	if c.Bound < DeadlineBound || c.Bound > MixedBound {
+		return fmt.Errorf("trace: unknown bound mode %d", int(c.Bound))
+	}
 	if c.DeadlineFactorRange[0] < 0 || c.DeadlineFactorRange[1] < c.DeadlineFactorRange[0] {
 		return fmt.Errorf("trace: bad deadline factor range %v", c.DeadlineFactorRange)
 	}
@@ -171,63 +237,22 @@ func (c Config) binMix() [3]float64 {
 }
 
 // Generate produces the trace: jobs sorted by arrival with bounds assigned
-// per §6.1.
+// per §6.1. It is the materializing wrapper around Stream — same seed, same
+// jobs — for callers that want the whole trace in memory; replays at the
+// paper's trace sizes should drive the simulator from a Stream instead.
 func Generate(cfg Config) ([]*task.Job, error) {
-	if err := cfg.Validate(); err != nil {
+	s, err := NewStream(cfg)
+	if err != nil {
 		return nil, err
 	}
-	rng := dist.NewRNG(cfg.Seed)
-	sizeRNG := rng.Split()
-	workRNG := rng.Split()
-	boundRNG := rng.Split()
-	arrRNG := rng.Split()
-
 	jobs := make([]*task.Job, 0, cfg.Jobs)
-	now := 0.0
-	scale := cfg.taskScale()
-	for id := 0; id < cfg.Jobs; id++ {
-		n := sampleSize(cfg, sizeRNG)
-		work := make([]float64, n)
-		sizeDist := dist.Lognormal{Mu: 0, Sigma: 0.8}
-		for i := range work {
-			// Per-task data-size skew around the framework scale (median 1,
-			// lognormal spread — the data skew of [19] that makes SJF/LJF
-			// ordering matter). The simulator multiplies by the straggler
-			// factor on top.
-			f := sizeDist.Sample(workRNG)
-			if f < 0.1 {
-				f = 0.1
-			}
-			if f > 20 {
-				f = 20
-			}
-			work[i] = scale * f
+	for {
+		j, ok := s.Next()
+		if !ok {
+			return jobs, nil
 		}
-		j := &task.Job{ID: id, Arrival: now, InputWork: work}
-		if dag := cfg.DAGLength; dag > 1 {
-			j.Phases = make([]task.Phase, dag-1)
-			for p := range j.Phases {
-				// Intermediate phases aggregate: roughly a tenth of the
-				// input task count, similar per-task work.
-				nt := n / 10
-				if nt < 1 {
-					nt = 1
-				}
-				j.Phases[p] = task.Phase{NumTasks: nt, WorkScale: scale}
-			}
-		}
-		assignBound(cfg, j, boundRNG)
 		jobs = append(jobs, j)
-		// Poisson arrivals: mean spacing makes the trace's real work
-		// (ideal × straggler inflation) consume cfg.Load of the cluster.
-		inflation := cfg.WorkInflation
-		if inflation == 0 {
-			inflation = 1.75
-		}
-		spacing := j.TotalWork() * inflation / (float64(cfg.Slots) * cfg.Load)
-		now += dist.Exponential{Mu: spacing}.Sample(arrRNG)
 	}
-	return jobs, nil
 }
 
 // sampleSize draws a job's task count: a size bin by workload mix, then a
@@ -259,6 +284,19 @@ func sampleSize(cfg Config, rng *dist.RNG) int {
 // assignBound sets the job's approximation bound per §6.1.
 func assignBound(cfg Config, j *task.Job, rng *dist.RNG) {
 	switch cfg.Bound {
+	case MixedBound:
+		// One extra draw picks the job's class; the class then consumes
+		// exactly the draws it would in its dedicated mode.
+		sub := cfg
+		switch u := rng.Float64(); {
+		case u < 0.45:
+			sub.Bound = DeadlineBound
+		case u < 0.90:
+			sub.Bound = ErrorBound
+		default:
+			sub.Bound = ExactBound
+		}
+		assignBound(sub, j, rng)
 	case ErrorBound:
 		eps := cfg.ErrorRange[0] + rng.Float64()*(cfg.ErrorRange[1]-cfg.ErrorRange[0])
 		j.Bound = task.NewError(eps)

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Perf-regression wall: fails when the simulator's per-event allocation
+# budget regresses. Allocation counts are deterministic (unlike ns/op, which
+# depends on the machine), so CI can gate on them exactly:
+#
+#   - BenchmarkDispatch must stay at 0 allocs/op: the dispatch round has
+#     been allocation-free since PR 2.
+#   - BenchmarkSimulatorQuick's allocs/event must stay below the PR-2
+#     BENCH_sim.json figures (gs 3.37, ras 2.54, late 2.36). PR 3's event
+#     pooling put them at ~1.6/1.3/1.2; the wall holds the PR-2 ceiling so
+#     an accidental revert of either optimization fails CI while normal
+#     jitter does not. Tighten the thresholds when BENCH_sim.json advances.
+#
+# Usage: scripts/perfwall.sh   (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=$(go test ./internal/sched -run '^$' \
+	-bench 'BenchmarkSimulatorQuick|BenchmarkDispatch' \
+	-benchtime 20x -benchmem)
+echo "$out"
+fail=0
+
+# Dispatch rounds must not allocate at all. An empty parse (renamed or
+# restructured benchmark) fails too: a wall that checks nothing is no wall.
+dispatched=0
+while read -r name allocs; do
+	dispatched=$((dispatched + 1))
+	if [ "$allocs" != "0" ]; then
+		echo "PERF WALL: $name allocated $allocs allocs/op, want 0" >&2
+		fail=1
+	fi
+done < <(echo "$out" | awk '/^BenchmarkDispatch\// {
+	for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $1, $(i-1) }')
+if [ "$dispatched" -eq 0 ]; then
+	echo "PERF WALL: no BenchmarkDispatch allocs/op lines parsed" >&2
+	fail=1
+else
+	echo "perf wall: $dispatched dispatch benches at 0 allocs/op ok"
+fi
+
+# Full-simulation allocations per event, gated per policy.
+check() { # check <sub-benchmark> <wall>
+	local sub=$1 wall=$2 v
+	# The -N GOMAXPROCS suffix is absent on single-core runners; match the
+	# sub-benchmark exactly either way (so "gs" never matches "gs-stream").
+	v=$(echo "$out" | awk -v re="^BenchmarkSimulatorQuick/$sub(-[0-9]+)?\$" '
+		$1 ~ re {
+			for (i = 1; i <= NF; i++) if ($i == "allocs/event") print $(i-1) }' | head -1)
+	if [ -z "$v" ]; then
+		echo "PERF WALL: no allocs/event metric for $sub" >&2
+		fail=1
+	elif awk -v v="$v" -v w="$wall" 'BEGIN { exit !(v > w) }'; then
+		echo "PERF WALL: $sub at $v allocs/event exceeds the wall of $wall" >&2
+		fail=1
+	else
+		echo "perf wall: $sub $v allocs/event <= $wall ok"
+	fi
+}
+check gs 3.37
+check ras 2.54
+check late 2.36
+# The streaming admission path (same workload via RunSource) must not
+# regress either; it shares gs's ceiling.
+check gs-stream 3.37
+
+exit $fail
