@@ -10,9 +10,11 @@
 //
 // These are *result* benchmarks. The *performance* benchmarks of the
 // simulator's dispatch hot path (BenchmarkSimulatorQuick, BenchmarkDispatch,
-// BenchmarkBuildViews) live in internal/sched; their per-event numbers are
-// tracked across PRs in BENCH_sim.json, and `grass-bench -profile <prefix>`
-// writes pprof profiles for digging into regressions.
+// BenchmarkBuildViews, and BenchmarkLargeJobReplay's incremental-vs-rebuild
+// candidate-view comparison) live in internal/sched; their per-event
+// numbers are tracked across PRs in BENCH_sim.json, and
+// `grass-bench -profile <prefix>` writes pprof profiles for digging into
+// regressions.
 package grass_test
 
 import (

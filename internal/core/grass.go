@@ -155,6 +155,28 @@ type policy struct {
 
 	gs  spec.GS
 	ras spec.RAS
+
+	// Candidate-state arguments of the in-flight Pick/PickIncremental
+	// call, stashed as fields so the shared switching logic can compute
+	// the median t_new from whichever representation is live without a
+	// per-call closure allocation. Exactly one is non-nil during a call.
+	vsArg    *spec.ViewSet
+	tasksArg []spec.TaskView
+}
+
+// clearArgs drops the stashed candidate state when a call returns: the
+// views belong to the scheduler (the shared rebuild buffer, a per-phase
+// ViewSet) and must not be retained across calls — a later out-of-call
+// read should hit nil, not a dead phase's views.
+func (g *policy) clearArgs() { g.tasksArg, g.vsArg = nil, nil }
+
+// medTNew returns the median fresh-copy estimate over the in-flight
+// call's candidate state.
+func (g *policy) medTNew() float64 {
+	if g.vsArg != nil {
+		return g.vsArg.MedianTNew()
+	}
+	return medianTNew(g.tasksArg)
 }
 
 // Name implements spec.Policy.
@@ -164,13 +186,15 @@ func (g *policy) Name() string { return g.f.Name() }
 // adaptive jobs run RAS until the learned (or strawman) switch point, then
 // GS for the rest of the job.
 func (g *policy) Pick(ctx spec.Ctx, tasks []spec.TaskView) (spec.Decision, bool) {
+	g.tasksArg, g.vsArg = tasks, nil
+	defer g.clearArgs()
 	if g.sampled {
 		if g.samplePol == sampleGS {
 			return g.gs.Pick(ctx, tasks)
 		}
 		return g.ras.Pick(ctx, tasks)
 	}
-	if !g.switched && g.shouldSwitch(ctx, tasks) {
+	if !g.switched && g.shouldSwitch(ctx) {
 		g.switched = true
 		g.f.stats.Switched++
 	}
@@ -180,6 +204,30 @@ func (g *policy) Pick(ctx spec.Ctx, tasks []spec.TaskView) (spec.Decision, bool)
 	return g.ras.Pick(ctx, tasks)
 }
 
+// PickIncremental implements spec.IncrementalPolicy: the same control flow
+// as Pick with the switching decision and the delegated GS/RAS selections
+// answered from the maintained candidate state. The switched flag and the
+// learner are shared with Pick, so a job may interleave both paths (the
+// differential tests do) without divergence.
+func (g *policy) PickIncremental(ctx spec.Ctx, vs *spec.ViewSet) (spec.Decision, bool) {
+	g.tasksArg, g.vsArg = nil, vs
+	defer g.clearArgs()
+	if g.sampled {
+		if g.samplePol == sampleGS {
+			return g.gs.PickIncremental(ctx, vs)
+		}
+		return g.ras.PickIncremental(ctx, vs)
+	}
+	if !g.switched && g.shouldSwitch(ctx) {
+		g.switched = true
+		g.f.stats.Switched++
+	}
+	if g.switched {
+		return g.gs.PickIncremental(ctx, vs)
+	}
+	return g.ras.PickIncremental(ctx, vs)
+}
+
 // shouldSwitch decides whether "the optimal switching point turns out to be
 // at present" (§4.1). It steps through candidate split points of the
 // remaining work; the predicted performance of splitting at s is the sum of
@@ -187,14 +235,22 @@ func (g *policy) Pick(ctx spec.Ctx, tasks []spec.TaskView) (spec.Decision, bool)
 // curves matched on job size, waves and estimation accuracy. When the
 // learner has no data (or in strawman mode) it falls back to the static
 // two-waves rule.
-func (g *policy) shouldSwitch(ctx spec.Ctx, tasks []spec.TaskView) bool {
+func (g *policy) shouldSwitch(ctx spec.Ctx) bool {
 	if g.f.cfg.Strawman {
-		return g.staticRule(ctx, tasks)
+		return g.staticRule(ctx)
 	}
 	if ctx.Kind == task.DeadlineBound {
-		return g.switchDeadline(ctx, tasks)
+		return g.switchDeadline(ctx)
 	}
-	return g.switchError(ctx, tasks)
+	return g.switchError(ctx)
+}
+
+// switchWith evaluates the switching decision against an explicit view
+// slice — the entry point the unit tests drive shouldSwitch through.
+func (g *policy) switchWith(ctx spec.Ctx, tasks []spec.TaskView) bool {
+	g.tasksArg, g.vsArg = tasks, nil
+	defer g.clearArgs()
+	return g.shouldSwitch(ctx)
 }
 
 // waves approximates the job's wave count from its slot share.
@@ -224,7 +280,7 @@ func continueFrom(c *Curve, phi, t float64) float64 {
 	return d
 }
 
-func (g *policy) switchDeadline(ctx spec.Ctx, tasks []spec.TaskView) bool {
+func (g *policy) switchDeadline(ctx spec.Ctx) bool {
 	rem := ctx.RemainingTime
 	if rem <= 0 {
 		return true // nothing left to conserve; be greedy
@@ -234,7 +290,7 @@ func (g *policy) switchDeadline(ctx spec.Ctx, tasks []spec.TaskView) bool {
 	gsC, ok2 := l.Aggregate(sampleGS, g.bin, waves, acc)
 	if !ok1 || !ok2 {
 		g.f.stats.StaticDecisions++
-		return g.staticRule(ctx, tasks) // insufficient samples yet
+		return g.staticRule(ctx) // insufficient samples yet
 	}
 	g.f.stats.LearnedDecisions++
 	phi := 0.0
@@ -257,7 +313,7 @@ func (g *policy) switchDeadline(ctx spec.Ctx, tasks []spec.TaskView) bool {
 	return bestIdx == 0
 }
 
-func (g *policy) switchError(ctx spec.Ctx, tasks []spec.TaskView) bool {
+func (g *policy) switchError(ctx spec.Ctx) bool {
 	remTasks := ctx.Remaining()
 	if remTasks <= 0 {
 		return true
@@ -271,7 +327,7 @@ func (g *policy) switchError(ctx spec.Ctx, tasks []spec.TaskView) bool {
 	gsC, ok2 := l.Aggregate(sampleGS, g.bin, waves, acc)
 	if !ok1 || !ok2 {
 		g.f.stats.StaticDecisions++
-		return g.staticRule(ctx, tasks)
+		return g.staticRule(ctx)
 	}
 	g.f.stats.LearnedDecisions++
 	phi := float64(ctx.CompletedTasks) / float64(total)
@@ -302,7 +358,7 @@ func (g *policy) switchError(ctx spec.Ctx, tasks []spec.TaskView) bool {
 		}
 	}
 	if math.IsInf(bestDur, 1) {
-		return g.staticRule(ctx, tasks)
+		return g.staticRule(ctx)
 	}
 	return bestIdx == 0
 }
@@ -310,11 +366,11 @@ func (g *policy) switchError(ctx spec.Ctx, tasks []spec.TaskView) bool {
 // staticRule is the theory-guided two-waves heuristic (§4's strawman, also
 // GRASS's cold-start fallback): switch to GS once the remaining work fits
 // in at most two waves of tasks.
-func (g *policy) staticRule(ctx spec.Ctx, tasks []spec.TaskView) bool {
+func (g *policy) staticRule(ctx spec.Ctx) bool {
 	if ctx.Kind == task.DeadlineBound {
 		// Time to the deadline sufficient for at most two waves, with task
 		// duration taken as the median estimate of a fresh copy.
-		med := medianTNew(tasks)
+		med := g.medTNew()
 		if med <= 0 {
 			return false
 		}

@@ -44,8 +44,14 @@ func (*policy) Name() string { return "Oracle" }
 
 // Pick implements spec.Policy.
 func (p *policy) Pick(ctx spec.Ctx, tasks []spec.TaskView) (spec.Decision, bool) {
-	if !p.switched && lastTwoWaves(ctx, tasks) {
-		p.switched = true
+	if !p.switched {
+		var med float64
+		if ctx.Kind == task.DeadlineBound {
+			med = trueMedianTNew(tasks)
+		}
+		if lastTwoWaves(ctx, med) {
+			p.switched = true
+		}
 	}
 	if p.switched {
 		return p.gs.Pick(ctx, tasks)
@@ -53,11 +59,26 @@ func (p *policy) Pick(ctx spec.Ctx, tasks []spec.TaskView) (spec.Decision, bool)
 	return p.ras.Pick(ctx, tasks)
 }
 
+// PickIncremental implements spec.IncrementalPolicy: the exact two-wave
+// switch test reads the ground-truth median t_new straight off the
+// maintained (TNew, index) order, and the GS/RAS selections run over the
+// incremental candidate state. The switch flag is shared with Pick.
+func (p *policy) PickIncremental(ctx spec.Ctx, vs *spec.ViewSet) (spec.Decision, bool) {
+	if !p.switched && lastTwoWaves(ctx, vs.MedianTNew()) {
+		p.switched = true
+	}
+	if p.switched {
+		return p.gs.PickIncremental(ctx, vs)
+	}
+	return p.ras.PickIncremental(ctx, vs)
+}
+
 // lastTwoWaves reports whether the remaining work fits within two waves —
-// with ground-truth durations this is exact, unlike the strawman's estimate.
-func lastTwoWaves(ctx spec.Ctx, tasks []spec.TaskView) bool {
+// with ground-truth durations this is exact, unlike the strawman's
+// estimate. med is the median ground-truth fresh-copy duration (only read
+// for deadline bounds).
+func lastTwoWaves(ctx spec.Ctx, med float64) bool {
 	if ctx.Kind == task.DeadlineBound {
-		med := trueMedianTNew(tasks)
 		if med <= 0 {
 			return false
 		}

@@ -63,13 +63,14 @@ func (s *benchStream) Next() (*task.Job, bool) {
 }
 
 // runSimBench runs full simulations of the bench workload under one policy
-// and reports per-event wall clock and per-event heap allocations — the two
-// numbers BENCH_sim.json tracks across PRs. With stream set, jobs are
-// injected through RunSource instead of the materializing Run.
-func runSimBench(b *testing.B, stream bool, factory func() spec.Factory) {
+// and reports per-event wall clock, per-event heap allocations and
+// task-view touches per launch attempt — the numbers BENCH_sim.json tracks
+// across PRs. With stream set, jobs are injected through RunSource instead
+// of the materializing Run.
+func runSimBench(b *testing.B, stream, forceInc bool, factory func() spec.Factory) {
 	b.Helper()
 	jobs := benchJobs(60)
-	var events, allocs uint64
+	var events, allocs, touches, attempts uint64
 	var nanos int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -77,6 +78,9 @@ func runSimBench(b *testing.B, stream bool, factory func() spec.Factory) {
 		s, err := New(benchConfig(1), factory())
 		if err != nil {
 			b.Fatal(err)
+		}
+		if forceInc {
+			s.incMinTasks = 0
 		}
 		run := func() (*RunStats, error) { return s.Run(jobs) }
 		if stream {
@@ -97,38 +101,62 @@ func runSimBench(b *testing.B, stream bool, factory func() spec.Factory) {
 		}
 		events += stats.Events
 		allocs += m1.Mallocs - m0.Mallocs
+		to, _, at := s.TouchStats()
+		touches += to
+		attempts += at
 	}
 	if events > 0 {
 		b.ReportMetric(float64(allocs)/float64(events), "allocs/event")
 		b.ReportMetric(float64(nanos)/float64(events), "ns/event")
+	}
+	if attempts > 0 {
+		b.ReportMetric(float64(touches)/float64(attempts), "touches/attempt")
 	}
 }
 
 // BenchmarkSimulatorQuick is the macro benchmark of the dispatch hot path:
 // one iteration simulates the full mixed workload end to end. The policy
 // sub-benchmarks cover the paper's main contenders; "late" additionally
-// exercises the percentile machinery of the LATE baseline.
+// exercises the percentile machinery of the LATE baseline. The workload's
+// jobs are all below the incremental-views size crossover, so the plain
+// variants exercise the production default (the rebuild walk at these
+// sizes); the "-inc" variants force the incrementally maintained ViewSet
+// for every phase — the small-job end of the incremental-vs-rebuild
+// comparison BENCH_sim.json records (BenchmarkLargeJobReplay is the
+// large-job end, where the incremental path wins by an order of
+// magnitude).
 func BenchmarkSimulatorQuick(b *testing.B) {
 	b.Run("gs", func(b *testing.B) {
-		runSimBench(b, false, func() spec.Factory { return spec.Stateless(spec.NewGS()) })
+		runSimBench(b, false, false, func() spec.Factory { return spec.Stateless(spec.NewGS()) })
 	})
 	b.Run("ras", func(b *testing.B) {
-		runSimBench(b, false, func() spec.Factory { return spec.Stateless(spec.NewRAS()) })
+		runSimBench(b, false, false, func() spec.Factory { return spec.Stateless(spec.NewRAS()) })
 	})
 	b.Run("late", func(b *testing.B) {
-		runSimBench(b, false, func() spec.Factory { return spec.Stateless(spec.NewLATE()) })
+		runSimBench(b, false, false, func() spec.Factory { return spec.Stateless(spec.NewLATE()) })
 	})
 	// The streaming admission path (RunSource) on the same workload: one
 	// reusable arrival closure instead of one closure per job.
 	b.Run("gs-stream", func(b *testing.B) {
-		runSimBench(b, true, func() spec.Factory { return spec.Stateless(spec.NewGS()) })
+		runSimBench(b, true, false, func() spec.Factory { return spec.Stateless(spec.NewGS()) })
+	})
+	b.Run("gs-inc", func(b *testing.B) {
+		runSimBench(b, false, true, func() spec.Factory { return spec.Stateless(spec.NewGS()) })
+	})
+	b.Run("ras-inc", func(b *testing.B) {
+		runSimBench(b, false, true, func() spec.Factory { return spec.Stateless(spec.NewRAS()) })
+	})
+	b.Run("late-inc", func(b *testing.B) {
+		runSimBench(b, false, true, func() spec.Factory { return spec.Stateless(spec.NewLATE()) })
 	})
 }
 
 // BenchmarkDispatch is the micro benchmark of one dispatch round: the cluster
 // is saturated by evenly matched jobs, so dispatch computes the fair-share
 // table and scans for an underserved job but launches nothing — isolating
-// the bookkeeping this PR makes incremental and allocation-free.
+// the round bookkeeping that has been incremental and allocation-free
+// since PR 2. (Launch-attempt view costs are covered by BenchmarkBuildViews
+// and BenchmarkLargeJobReplay: a saturated round never reaches tryLaunch.)
 func BenchmarkDispatch(b *testing.B) {
 	for _, njobs := range []int{4, 16, 64} {
 		b.Run(map[int]string{4: "jobs=4", 16: "jobs=16", 64: "jobs=64"}[njobs], func(b *testing.B) {
@@ -153,19 +181,90 @@ func BenchmarkDispatch(b *testing.B) {
 	}
 }
 
-// BenchmarkBuildViews measures the per-launch-attempt TaskView construction
-// for one mid-flight job with many running copies.
+// BenchmarkLargeJobReplay is the large-job replay profile: a handful of
+// overlapping 2000-task jobs simulated end to end under GS, where the
+// pre-incremental path rescanned thousands of incomplete tasks on every
+// launch attempt. touches/attempt is the headline comparison BENCH_sim.json
+// records — the incremental path must touch at least 3x fewer views per
+// attempt than the rebuild path (in practice the gap is far larger: an
+// attempt touches the running set, not the whole job).
+func BenchmarkLargeJobReplay(b *testing.B) {
+	jobs := func() []*task.Job {
+		return []*task.Job{
+			uniformJob(0, 2000, task.Exact(), 0),
+			uniformJob(1, 2000, task.NewError(0.1), 5),
+			uniformJob(2, 2000, task.NewError(0.05), 10),
+			uniformJob(3, 2000, task.Exact(), 15),
+		}
+	}
+	run := func(b *testing.B, factory func() spec.Factory) {
+		b.Helper()
+		var touches, rescales, attempts, events uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s, err := New(benchConfig(1), factory())
+			if err != nil {
+				b.Fatal(err)
+			}
+			js := jobs()
+			b.StartTimer()
+			stats, err := s.Run(js)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			to, re, at := s.TouchStats()
+			touches += to
+			rescales += re
+			attempts += at
+			events += stats.Events
+			b.StartTimer()
+		}
+		if attempts > 0 {
+			b.ReportMetric(float64(touches)/float64(attempts), "touches/attempt")
+			b.ReportMetric(float64(rescales)/float64(attempts), "rescales/attempt")
+		}
+		if events > 0 {
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+		}
+	}
+	b.Run("incremental", func(b *testing.B) {
+		run(b, func() spec.Factory { return spec.Stateless(spec.NewGS()) })
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		run(b, func() spec.Factory { return rebuildOnly{spec.Stateless(spec.NewGS())} })
+	})
+}
+
+// BenchmarkBuildViews measures the per-launch-attempt view cost for one
+// mid-flight job: the from-scratch rebuild walks all 300 tasks, the
+// incremental refresh only the running set (nothing is dirty between
+// attempts at one timestamp — the steady state of a dispatch round).
 func BenchmarkBuildViews(b *testing.B) {
-	s, err := New(benchConfig(1), spec.Stateless(spec.NoSpec{}))
-	if err != nil {
-		b.Fatal(err)
+	setup := func(b *testing.B) (*Simulator, *jobState) {
+		s, err := New(benchConfig(1), spec.Stateless(spec.NoSpec{}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.admit(uniformJob(0, 300, task.Exact(), 0))
+		return s, s.active[0]
 	}
-	s.admit(uniformJob(0, 300, task.Exact(), 0))
-	js := s.active[0]
-	ctx := s.buildCtx(js)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		s.buildViews(js, ctx)
-	}
+	b.Run("rebuild", func(b *testing.B) {
+		s, js := setup(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.buildViews(js)
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		s, js := setup(b)
+		s.refreshViews(js) // build once; iterations measure the steady state
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.refreshViews(js)
+		}
+	})
 }

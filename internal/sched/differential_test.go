@@ -1,0 +1,212 @@
+package sched
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/approx-analytics/grass/internal/core"
+	"github.com/approx-analytics/grass/internal/oracle"
+	"github.com/approx-analytics/grass/internal/spec"
+	"github.com/approx-analytics/grass/internal/task"
+)
+
+// This file is the differential harness locking the incremental candidate
+// views to the from-scratch rebuild path: at every launch attempt of a
+// fixed-seed run, the maintained ViewSet must DeepEqual a side-effect-free
+// buildViews rebuild and the policy's PickIncremental must return the
+// identical Decision its reference Pick returns — for all seven policy
+// families. A full-run check then asserts the end-to-end RunStats are
+// DeepEqual when the same workload replays with the incremental path
+// disabled entirely.
+
+// pickOnly strips the IncrementalPolicy implementation from a policy,
+// forcing the simulator onto the from-scratch buildViews + Pick path (the
+// pre-incremental behavior).
+type pickOnly struct{ p spec.Policy }
+
+func (w pickOnly) Name() string { return w.p.Name() }
+func (w pickOnly) Pick(ctx spec.Ctx, tasks []spec.TaskView) (spec.Decision, bool) {
+	return w.p.Pick(ctx, tasks)
+}
+
+// rebuildOnly wraps a factory so every policy it builds is a pickOnly.
+type rebuildOnly struct{ f spec.Factory }
+
+func (r rebuildOnly) Name() string { return r.f.Name() }
+func (r rebuildOnly) NewPolicy(jobID, numTasks int) spec.Policy {
+	return pickOnly{r.f.NewPolicy(jobID, numTasks)}
+}
+
+// diffPolicies enumerates the seven policy families the harness covers.
+// oracle selects ground-truth views (Config.Oracle).
+var diffPolicies = []struct {
+	name    string
+	oracle  bool
+	factory func(t testing.TB) spec.Factory
+}{
+	{"gs", false, func(testing.TB) spec.Factory { return spec.Stateless(spec.NewGS()) }},
+	{"ras", false, func(testing.TB) spec.Factory { return spec.Stateless(spec.NewRAS()) }},
+	{"late", false, func(testing.TB) spec.Factory { return spec.Stateless(spec.NewLATE()) }},
+	{"mantri", false, func(testing.TB) spec.Factory { return spec.Stateless(spec.NewMantri()) }},
+	{"nospec", false, func(testing.TB) spec.Factory { return spec.Stateless(spec.NoSpec{}) }},
+	{"grass", false, func(t testing.TB) spec.Factory {
+		f, err := core.New(core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}},
+	{"oracle", true, func(testing.TB) spec.Factory { return oracle.New() }},
+}
+
+// dagJob builds a job whose input tasks have per-index work variation and
+// which carries intermediate DAG phases — so the differential run crosses
+// phase transitions, not just the input phase.
+func dagJob(id int, n int, bound task.Bound, arrival float64) *task.Job {
+	work := make([]float64, n)
+	for i := range work {
+		work[i] = 0.5 + float64(i%7)*0.25
+	}
+	return &task.Job{
+		ID:        id,
+		Arrival:   arrival,
+		InputWork: work,
+		Phases: []task.Phase{
+			{NumTasks: 4 + n/10, WorkScale: 0.8},
+			{NumTasks: 2, WorkScale: 1.2},
+		},
+		Bound: bound,
+	}
+}
+
+// diffWorkload is a fixed mixed workload in the spirit of the exp
+// harness's Quick configuration: overlapping jobs of varying size under
+// all three bound kinds, multi-phase DAGs, and tight-deadline arrivals
+// into a busy cluster to force fair-share preemption.
+func diffWorkload() []*task.Job {
+	jobs := []*task.Job{}
+	id := 0
+	add := func(j *task.Job) { jobs = append(jobs, j); id++ }
+	for i := 0; i < 12; i++ {
+		size := 15 + (i%5)*30
+		arrival := float64(i) * 4
+		switch i % 3 {
+		case 0:
+			add(uniformJob(id, size, task.Exact(), arrival))
+		case 1:
+			add(dagJob(id, size, task.NewError(0.1), arrival))
+		default:
+			add(dagJob(id, size, task.NewDeadline(20), arrival))
+		}
+	}
+	// Tight deadline jobs arriving into a saturated cluster: the fairness
+	// preemption path fires, dirtying victims' tasks mid-round.
+	add(uniformJob(id, 120, task.Exact(), 1.5))
+	add(uniformJob(id, 60, task.NewDeadline(2), 2.0))
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Arrival < jobs[j].Arrival })
+	return jobs
+}
+
+// attachDifferentialCheck arms the simulator's per-attempt hook: the
+// incremental ViewSet and decision are compared against a from-scratch,
+// side-effect-free rebuild and the reference Pick. Returns a counter of
+// checked attempts.
+func attachDifferentialCheck(t testing.TB, s *Simulator) *int {
+	t.Helper()
+	count := 0
+	var refBuf, incBuf []spec.TaskView
+	s.checkViews = func(js *jobState, ctx spec.Ctx, vs *spec.ViewSet, d spec.Decision, ok bool) {
+		count++
+		now := s.eng.Now()
+		refBuf = refBuf[:0]
+		for _, tr := range js.phase.tasks {
+			if tr.completed {
+				continue
+			}
+			refBuf = append(refBuf, s.taskView(js, tr, now, false))
+		}
+		incBuf = vs.AppendCompact(incBuf[:0])
+		if !reflect.DeepEqual(refBuf, incBuf) {
+			t.Fatalf("job %d at t=%v: incremental views diverged from rebuild\nrebuild:     %s\nincremental: %s",
+				js.job.ID, now, diffViews(refBuf, incBuf), diffViews(incBuf, refBuf))
+		}
+		rd, rok := js.policy.Pick(ctx, refBuf)
+		if rok != ok || rd != d {
+			t.Fatalf("job %d at t=%v: policy %s decisions diverged: rebuild (%+v, %v) vs incremental (%+v, %v)",
+				js.job.ID, now, js.policy.Name(), rd, rok, d, ok)
+		}
+	}
+	return &count
+}
+
+// diffViews formats the first differing view for a failure message.
+func diffViews(a, b []spec.TaskView) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("len %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Sprintf("view %d: %+v != %+v", i, a[i], b[i])
+		}
+	}
+	return "equal"
+}
+
+// TestDifferentialViews replays the fixed-seed mixed workload under every
+// policy family with the per-attempt check armed: incremental views must
+// DeepEqual a from-scratch rebuild and decisions must match the reference
+// Pick at every single launch attempt.
+func TestDifferentialViews(t *testing.T) {
+	for _, p := range diffPolicies {
+		t.Run(p.name, func(t *testing.T) {
+			cfg := smallConfig(7)
+			cfg.Oracle = p.oracle
+			s, err := New(cfg, p.factory(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.incMinTasks = 0 // every phase incremental, whatever its size
+			checked := attachDifferentialCheck(t, s)
+			if _, err := s.Run(diffWorkload()); err != nil {
+				t.Fatal(err)
+			}
+			if *checked < 1000 {
+				t.Fatalf("only %d launch attempts checked; workload too small to exercise the incremental path", *checked)
+			}
+		})
+	}
+}
+
+// TestIncrementalMatchesRebuild runs the same workload twice per policy —
+// once on the incremental path, once with IncrementalPolicy stripped so
+// the simulator rebuilds views from scratch — and requires the complete
+// RunStats (every per-job result, makespan, event count, estimator
+// accuracy) to be deeply equal: the incremental path is hash-identical to
+// the pre-incremental behavior, not merely close.
+func TestIncrementalMatchesRebuild(t *testing.T) {
+	for _, p := range diffPolicies {
+		t.Run(p.name, func(t *testing.T) {
+			cfg := smallConfig(11)
+			cfg.Oracle = p.oracle
+			run := func(f spec.Factory) *RunStats {
+				s, err := New(cfg, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.incMinTasks = 0 // incremental for every phase (no-op for pickOnly)
+				stats, err := s.Run(diffWorkload())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return stats
+			}
+			inc := run(p.factory(t))
+			reb := run(rebuildOnly{p.factory(t)})
+			if !reflect.DeepEqual(inc, reb) {
+				t.Fatalf("incremental RunStats diverged from rebuild path:\nincremental: %+v\nrebuild:     %+v", inc, reb)
+			}
+		})
+	}
+}

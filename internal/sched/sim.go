@@ -68,10 +68,9 @@ type taskRun struct {
 
 	// View caches, maintained on copy launch/completion/preemption instead
 	// of being recomputed on every launch attempt (the dispatch hot path).
-	best      *copyRun // earliest-finishing copy; first appended wins ties
-	bestEnd   float64  // best.start + best.duration
-	tnewCache float64  // cached non-oracle TNew view value
-	tnewVer   uint64   // 1 + estimator version the cache was computed at; 0 = empty
+	best    *copyRun // earliest-finishing copy; first appended wins ties
+	bestEnd float64  // best.start + best.duration
+	dirty   bool     // task is on its job's incremental-view dirty list
 }
 
 // recomputeBest rescans copies in append order for the earliest-finishing
@@ -98,8 +97,14 @@ func (p *phaseRun) satisfied() bool { return p.completed >= p.target }
 
 // jobState is the runtime state of one job.
 type jobState struct {
-	job      *task.Job
-	policy   spec.Policy
+	job    *task.Job
+	policy spec.Policy
+	// inc is the policy's delta-aware fast path, when it implements
+	// spec.IncrementalPolicy (every built-in policy does); nil falls back
+	// to the from-scratch buildViews + Pick reference path.
+	inc spec.IncrementalPolicy
+	// jv is the incrementally maintained candidate view state (views.go).
+	jv       jobViews
 	phaseIdx int
 	phase    *phaseRun
 	running  int
@@ -199,6 +204,39 @@ type Simulator struct {
 
 	viewBuf  []spec.TaskView
 	copyPool []*copyRun
+
+	// incMinTasks is the phase size at which launch attempts switch from
+	// the from-scratch buildViews walk to the incrementally maintained
+	// ViewSet. Both paths are locked hash-identical by the differential
+	// tests, so the choice is purely a cost crossover: below it the
+	// rebuild's tight O(tasks) scan beats the ordered-index bookkeeping,
+	// above it attempts cost O(running + dirtied) instead of O(tasks).
+	// Tests force 0 to run every phase incrementally.
+	incMinTasks int
+
+	// viewTouches counts complete task views derived or visited — the unit
+	// of work the rebuild path performs for every incomplete task on every
+	// launch attempt; with launchAttempts it yields the touches-per-attempt
+	// figure BENCH_sim.json tracks (the incremental path's headline win).
+	// tnewRescales separately counts single-field TNew patches from
+	// estimator-median movements (bounded by one per incomplete task per
+	// completion, independent of the attempt rate).
+	viewTouches    uint64
+	tnewRescales   uint64
+	launchAttempts uint64
+
+	// checkViews, when set (differential tests), observes every
+	// incremental launch attempt right after the policy decided, with the
+	// refreshed ViewSet still untouched by the launch itself.
+	checkViews func(js *jobState, ctx spec.Ctx, vs *spec.ViewSet, d spec.Decision, ok bool)
+}
+
+// TouchStats reports how many complete task views the simulator derived or
+// visited, how many single-field TNew rescales estimator-median movements
+// forced, and how many launch attempts ran — the per-attempt cost the
+// incremental views bound by O(running + dirtied) instead of O(tasks).
+func (s *Simulator) TouchStats() (viewTouches, tnewRescales, launchAttempts uint64) {
+	return s.viewTouches, s.tnewRescales, s.launchAttempts
 }
 
 // newCopy takes a copyRun from the free list (or mints one), owned by (js, t).
@@ -281,14 +319,15 @@ func New(cfg Config, factory spec.Factory) (*Simulator, error) {
 	root := dist.NewRNG(cfg.Seed)
 	clRNG := root.Split()
 	s := &Simulator{
-		cfg:      cfg,
-		factory:  factory,
-		eng:      simevent.New(),
-		rngPlace: root.Split(),
-		rngDur:   root.Split(),
-		rngEst:   root.Split(),
-		interObs: make(map[int][]float64),
-		interMed: make(map[int]float64),
+		cfg:         cfg,
+		factory:     factory,
+		eng:         simevent.New(),
+		rngPlace:    root.Split(),
+		rngDur:      root.Split(),
+		rngEst:      root.Split(),
+		interObs:    make(map[int][]float64),
+		interMed:    make(map[int]float64),
+		incMinTasks: defaultIncMinTasks,
 	}
 	var err error
 	if s.cl, err = cluster.New(cfg.Cluster, clRNG); err != nil {
@@ -394,6 +433,7 @@ func (s *Simulator) admit(j *task.Job) {
 			DAGLength:      j.DAGLength(),
 		},
 	}
+	js.inc, _ = js.policy.(spec.IncrementalPolicy)
 	js.phase = s.newInputPhase(j)
 	s.active = append(s.active, js)
 	s.insertDemand(js)
@@ -636,23 +676,56 @@ func (s *Simulator) preemptYoungest(victim *jobState) bool {
 		t.recomputeBest()
 	}
 	s.freeCopy(c)
+	s.notePreempt(victim, t)
 	return true
 }
 
-// tryLaunch asks the job's policy for a launch and executes it.
+// tryLaunch asks the job's policy for a launch and executes it. Policies
+// implementing spec.IncrementalPolicy select from the maintained ViewSet
+// (refreshed in O(running + dirtied)); others get the from-scratch
+// buildViews reference path.
 func (s *Simulator) tryLaunch(js *jobState) bool {
 	phase := js.phase
 	if phase == nil || phase.satisfied() {
 		return false
 	}
 	ctx := s.buildCtx(js)
-	views := s.buildViews(js, ctx)
-	if len(views) == 0 {
-		return false
-	}
-	d, ok := js.policy.Pick(ctx, views)
-	if !ok {
-		return false
+	s.launchAttempts++
+	var d spec.Decision
+	var ok bool
+	var estTNew float64
+	if js.inc != nil && len(phase.tasks) >= s.incMinTasks {
+		vs := s.refreshViews(js)
+		if vs.Len() == 0 {
+			return false
+		}
+		d, ok = js.inc.PickIncremental(ctx, vs)
+		if s.checkViews != nil {
+			s.checkViews(js, ctx, vs, d, ok)
+		}
+		if !ok {
+			return false
+		}
+		if d.TaskIndex >= 0 && d.TaskIndex < len(phase.tasks) {
+			// The estimate the policy saw, for accuracy scoring.
+			estTNew = vs.At(d.TaskIndex).TNew
+		}
+	} else {
+		views := s.buildViews(js)
+		if len(views) == 0 {
+			return false
+		}
+		d, ok = js.policy.Pick(ctx, views)
+		if !ok {
+			return false
+		}
+		// Recover the estimate the policy saw, for accuracy scoring.
+		for _, v := range views {
+			if v.Index == d.TaskIndex {
+				estTNew = v.TNew
+				break
+			}
+		}
 	}
 	if d.TaskIndex < 0 || d.TaskIndex >= len(phase.tasks) {
 		panic(fmt.Sprintf("sched: policy %s picked invalid task %d", js.policy.Name(), d.TaskIndex))
@@ -660,14 +733,6 @@ func (s *Simulator) tryLaunch(js *jobState) bool {
 	t := phase.tasks[d.TaskIndex]
 	if t.completed {
 		panic(fmt.Sprintf("sched: policy %s picked completed task %d", js.policy.Name(), d.TaskIndex))
-	}
-	// Recover the estimate the policy saw, for accuracy scoring.
-	var estTNew float64
-	for _, v := range views {
-		if v.Index == d.TaskIndex {
-			estTNew = v.TNew
-			break
-		}
 	}
 	s.launch(js, t, d.Speculative, estTNew)
 	return true
@@ -710,6 +775,7 @@ func (s *Simulator) launch(js *jobState, t *taskRun, speculative bool, estTNew f
 		js.res.Speculative++
 	}
 	c.ev = s.eng.At(now+c.duration, c.fn)
+	s.noteLaunch(js, t)
 }
 
 // drawFactor samples a duration factor from the phase-appropriate tail.
@@ -753,73 +819,28 @@ func (s *Simulator) buildCtx(js *jobState) spec.Ctx {
 }
 
 // buildViews produces the policy's TaskViews for unfinished tasks of the
-// current phase. In oracle mode the views carry ground truth (exact
-// remaining time, the exact duration the next copy would have); otherwise
-// they carry estimator output, and the estimates are remembered for
-// accuracy scoring.
-func (s *Simulator) buildViews(js *jobState, ctx spec.Ctx) []spec.TaskView {
+// current phase from scratch — the reference path the incremental views
+// (views.go) are held equivalent to. In oracle mode the views carry
+// ground truth (exact remaining time, the exact duration the next copy
+// would have); otherwise they carry estimator output, and the estimates
+// are remembered for accuracy scoring.
+func (s *Simulator) buildViews(js *jobState) []spec.TaskView {
 	now := s.eng.Now()
 	s.viewBuf = s.viewBuf[:0]
 	for _, t := range js.phase.tasks {
 		if t.completed {
 			continue
 		}
-		v := spec.TaskView{Index: t.index}
-		if len(t.copies) > 0 {
-			v.Running = true
-			v.Copies = len(t.copies)
-			// The earliest-finishing copy is cached on launch/completion/
-			// preemption, so a launch attempt does not rescan the copies.
-			bestCopy := t.best
-			trueRem := t.bestEnd - now
-			if trueRem < 0 {
-				trueRem = 0
+		v := s.taskView(js, t, now, true)
+		if !s.cfg.Oracle && v.Speculable {
+			if bc := t.best; bc.pendN < len(bc.pendTRem) {
+				bc.pendTRem[bc.pendN] = pend{est: v.TRem, at: now}
+				bc.pendN++
 			}
-			v.Elapsed = now - t.firstStart
-			if bestCopy.duration > 0 {
-				p := (now - bestCopy.start) / bestCopy.duration
-				if p > 0.999 {
-					p = 0.999
-				}
-				if p < 0 {
-					p = 0
-				}
-				v.Progress = p
-			}
-			if s.cfg.Oracle {
-				v.Speculable = true
-				v.TRem = trueRem
-			} else {
-				v.Speculable = v.Progress >= s.cfg.MinSpecProgress
-				// Extrapolation error shrinks as progress accumulates: a
-				// nearly-done copy's remaining time is well known.
-				bias := 1 + (bestCopy.tremBias-1)*(1-v.Progress)
-				v.TRem = trueRem * bias
-				if v.Speculable && bestCopy.pendN < len(bestCopy.pendTRem) {
-					bestCopy.pendTRem[bestCopy.pendN] = pend{est: v.TRem, at: now}
-					bestCopy.pendN++
-				}
-			}
-		}
-		if s.cfg.Oracle {
-			if t.nextFactor <= 0 {
-				t.nextFactor = s.drawFactor(js)
-			}
-			v.TNew = t.work * t.nextFactor
-		} else {
-			if t.tnewBias == 0 {
-				t.tnewBias = s.est.SampleTNewBias()
-			}
-			// TNew only moves when the estimator's empirical base does;
-			// cache it per task instead of recomputing every launch attempt.
-			if ver := s.est.Version() + 1; t.tnewVer != ver {
-				t.tnewCache = s.est.NormalizedMedian() * t.work * t.tnewBias
-				t.tnewVer = ver
-			}
-			v.TNew = t.tnewCache
 		}
 		s.viewBuf = append(s.viewBuf, v)
 	}
+	s.viewTouches += uint64(len(s.viewBuf))
 	return s.viewBuf
 }
 
@@ -843,6 +864,7 @@ func (s *Simulator) onCopyComplete(js *jobState, t *taskRun, c *copyRun) {
 	}
 	t.completed = true
 	t.span = now - t.firstStart
+	s.noteComplete(js, t)
 	s.est.ObserveCompletion(c.duration / t.work)
 	// Kill the losing copies.
 	for _, o := range t.copies {
@@ -910,6 +932,9 @@ func (s *Simulator) onInputDeadline(js *jobState) {
 func (s *Simulator) finishPhase(js *jobState) {
 	s.noteUtil()
 	now := s.eng.Now()
+	// The phase's candidate views die with it; the next phase's are built
+	// lazily at its first launch attempt.
+	js.jv.invalidate()
 	// Kill every copy still running in this phase (unneeded work).
 	for _, t := range js.phase.tasks {
 		for _, c := range t.copies {

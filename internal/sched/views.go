@@ -1,0 +1,283 @@
+// Incremental candidate views: each job's TaskViews live in a
+// spec.ViewSet that is kept alive across events instead of being rebuilt
+// on every launch attempt. Events dirty only the tasks they touch — a
+// copy launch, finish or preemption dirties that task; an estimator
+// update dirties every incomplete task, but only when the normalized
+// median actually moved (the only input a task's t_new depends on besides
+// its immutable work and bias) — and the refresh before the next launch
+// attempt re-derives exactly those views plus the time-dependent fields
+// of running tasks. A launch attempt on an n-task job therefore touches
+// O(running + dirtied) views instead of n.
+//
+// Equivalence with the from-scratch rebuild (buildViews) is exact, not
+// approximate: the refresh replays the rebuild's side effects — estimator
+// bias draws, oracle duration-factor draws, and pending-t_rem accuracy
+// samples — at the same points in the same order, so a replay produces
+// hash-identical results on either path. The differential tests in this
+// package (TestDifferential*, FuzzIncrementalViews) hold both paths to
+// DeepEqual views and identical decisions at every launch attempt.
+package sched
+
+import (
+	"sort"
+
+	"github.com/approx-analytics/grass/internal/spec"
+)
+
+// defaultIncMinTasks is the phase size where the incremental path starts
+// to beat the rebuild walk. Measured on the BenchmarkSimulatorQuick mixed
+// workload (jobs of 20–195 tasks, where the rebuild's tight scan wins by
+// its constants) against BenchmarkLargeJobReplay (2000-task jobs, where
+// the incremental path wins 4.7× wall clock per event); the crossover
+// sits between.
+const defaultIncMinTasks = 384
+
+// jobViews is the per-job incremental view state.
+type jobViews struct {
+	vs spec.ViewSet
+	// phase identifies which phaseRun vs is built for; a mismatch (new
+	// phase, or never built) triggers a full lazy init on the next launch
+	// attempt — lazy so the init's RNG draws land at the same stream
+	// positions as the rebuild path's first buildViews walk.
+	phase *phaseRun
+	// estVer/median are the estimator state the TNew values were computed
+	// at: a version bump with an unchanged normalized median changes no
+	// estimate and therefore dirties nothing.
+	estVer uint64
+	median float64
+	// lastNow is the simulation time the running views were refreshed at;
+	// within one dispatch round's timestamp they stay valid.
+	lastNow float64
+	// dirty lists task indices touched since the last refresh (deduped via
+	// taskRun.dirty).
+	dirty []int
+
+	// onTNewRefresh, when set (tests), observes every estimator-driven
+	// TNew rewrite — the invalidation-exactness property tests hook it.
+	onTNewRefresh func(taskIndex int)
+}
+
+// live reports whether the view state tracks the job's current phase.
+func (jv *jobViews) live(js *jobState) bool { return jv.phase == js.phase && jv.phase != nil }
+
+// invalidate drops the view state (phase ended).
+func (jv *jobViews) invalidate() {
+	jv.phase = nil
+	jv.dirty = jv.dirty[:0]
+}
+
+// dirtyTask marks t for re-derivation at the next refresh.
+func (s *Simulator) dirtyTask(js *jobState, t *taskRun) {
+	jv := &js.jv
+	if !jv.live(js) || t.dirty {
+		return
+	}
+	t.dirty = true
+	jv.dirty = append(jv.dirty, t.index)
+}
+
+// noteLaunch updates the view state for a copy launch on t: the first
+// copy moves the task to the running list, and the task's view (copy
+// count, best copy, consumed oracle factor) is stale until refresh.
+func (s *Simulator) noteLaunch(js *jobState, t *taskRun) {
+	if !js.jv.live(js) {
+		return
+	}
+	if len(t.copies) == 1 {
+		js.jv.vs.NoteLaunched(t.index)
+	}
+	s.dirtyTask(js, t)
+}
+
+// notePreempt updates the view state after a copy of t was preempted.
+func (s *Simulator) notePreempt(js *jobState, t *taskRun) {
+	if !js.jv.live(js) {
+		return
+	}
+	if len(t.copies) == 0 {
+		js.jv.vs.NoteIdle(t.index)
+	}
+	s.dirtyTask(js, t)
+}
+
+// noteComplete removes t from the view state when it completes.
+func (s *Simulator) noteComplete(js *jobState, t *taskRun) {
+	if !js.jv.live(js) {
+		return
+	}
+	js.jv.vs.Complete(t.index)
+	// A stale dirty entry is skipped (and the flag cleared) by the next
+	// refresh walk; the membership and order lists no longer know i.
+}
+
+// initViews builds the phase's ViewSet from scratch — the one O(n) walk
+// per phase. It visits tasks in ascending index order so the estimator
+// bias draws (and oracle factor draws) consume the shared RNG streams at
+// exactly the positions the rebuild path's first buildViews walk would.
+// No pending-t_rem samples are recorded: a phase's first launch attempt
+// happens before any of its copies run.
+func (s *Simulator) initViews(js *jobState, now float64) {
+	jv := &js.jv
+	jv.vs.Reset(len(js.phase.tasks))
+	if !s.cfg.Oracle {
+		jv.estVer = s.est.Version()
+		jv.median = s.est.NormalizedMedian()
+	}
+	for _, t := range js.phase.tasks {
+		if t.completed {
+			continue
+		}
+		jv.vs.Init(s.taskView(js, t, now, true))
+		t.dirty = false
+		s.viewTouches++
+	}
+	jv.vs.Seal()
+	jv.dirty = jv.dirty[:0]
+	jv.lastNow = now
+	jv.phase = js.phase
+}
+
+// refreshViews brings the job's ViewSet up to date for a launch attempt
+// at the current simulation time and replays the rebuild path's
+// per-attempt estimator bookkeeping (one pending t_rem sample per
+// speculable running task). The walk covers the union of the dirty list
+// and the running set in ascending index order — the rebuild walk's order
+// restricted to the tasks whose views can have changed.
+func (s *Simulator) refreshViews(js *jobState) *spec.ViewSet {
+	jv := &js.jv
+	now := s.eng.Now()
+	if !jv.live(js) {
+		s.initViews(js, now)
+		return &jv.vs
+	}
+	// Estimator invalidation: a version bump re-derives TNew for every
+	// incomplete task, but only when the normalized median moved — TNew_i
+	// = median × work_i × bias_i, so an unchanged median means every
+	// estimate is unchanged. The uniform rescale preserves the
+	// (TNew, index) order up to float rounding, which ResortByTNew checks
+	// and repairs.
+	if !s.cfg.Oracle {
+		if ver := s.est.Version(); ver != jv.estVer {
+			if med := s.est.NormalizedMedian(); med != jv.median {
+				for _, t := range js.phase.tasks {
+					if t.completed {
+						continue
+					}
+					jv.vs.SetTNewBulk(t.index, med*t.work*t.tnewBias)
+					s.tnewRescales++
+					if jv.onTNewRefresh != nil {
+						jv.onTNewRefresh(t.index)
+					}
+				}
+				jv.vs.ResortByTNew()
+				jv.median = med
+			}
+			jv.estVer = ver
+		}
+	}
+	sort.Ints(jv.dirty)
+	nowAdvanced := now != jv.lastNow
+	run := jv.vs.Running()
+	di, ri := 0, 0
+	for di < len(jv.dirty) || ri < len(run) {
+		var i int
+		switch {
+		case di >= len(jv.dirty):
+			i = run[ri]
+			ri++
+		case ri >= len(run):
+			i = jv.dirty[di]
+			di++
+		case jv.dirty[di] < run[ri]:
+			i = jv.dirty[di]
+			di++
+		case run[ri] < jv.dirty[di]:
+			i = run[ri]
+			ri++
+		default:
+			i = run[ri]
+			ri++
+			di++
+		}
+		t := js.phase.tasks[i]
+		if t.completed {
+			t.dirty = false
+			continue
+		}
+		if t.dirty || (nowAdvanced && len(t.copies) > 0) {
+			jv.vs.Update(s.taskView(js, t, now, true))
+			t.dirty = false
+		}
+		// The rebuild path records one pending t_rem accuracy sample per
+		// speculable running task per attempt; replay that here so the
+		// estimator's measured accuracy — and everything downstream of it
+		// — is identical. The stored view is current: a best-copy change
+		// dirties the task, and a time change refreshed it above.
+		if !s.cfg.Oracle && len(t.copies) > 0 {
+			if v := jv.vs.At(i); v.Speculable {
+				if bc := t.best; bc.pendN < len(bc.pendTRem) {
+					bc.pendTRem[bc.pendN] = pend{est: v.TRem, at: now}
+					bc.pendN++
+				}
+			}
+		}
+		s.viewTouches++
+	}
+	jv.dirty = jv.dirty[:0]
+	jv.lastNow = now
+	return &jv.vs
+}
+
+// taskView derives one task's current TaskView — the single source of
+// truth for the view float math, shared by the rebuild walk, the
+// incremental init/refresh, and the differential check. With record set
+// it may draw RNG exactly where the original buildViews did (a task's
+// first t_new bias, an oracle redraw of a consumed duration factor);
+// record=false (check mode) derives the view purely from existing state.
+func (s *Simulator) taskView(js *jobState, t *taskRun, now float64, record bool) spec.TaskView {
+	v := spec.TaskView{Index: t.index}
+	if len(t.copies) > 0 {
+		v.Running = true
+		v.Copies = len(t.copies)
+		// The earliest-finishing copy is cached on launch/completion/
+		// preemption, so deriving a view does not rescan the copies.
+		bestCopy := t.best
+		trueRem := t.bestEnd - now
+		if trueRem < 0 {
+			trueRem = 0
+		}
+		v.Elapsed = now - t.firstStart
+		if bestCopy.duration > 0 {
+			p := (now - bestCopy.start) / bestCopy.duration
+			if p > 0.999 {
+				p = 0.999
+			}
+			if p < 0 {
+				p = 0
+			}
+			v.Progress = p
+		}
+		if s.cfg.Oracle {
+			v.Speculable = true
+			v.TRem = trueRem
+		} else {
+			v.Speculable = v.Progress >= s.cfg.MinSpecProgress
+			// Extrapolation error shrinks as progress accumulates: a
+			// nearly-done copy's remaining time is well known.
+			bias := 1 + (bestCopy.tremBias-1)*(1-v.Progress)
+			v.TRem = trueRem * bias
+		}
+	}
+	if s.cfg.Oracle {
+		if record && t.nextFactor <= 0 {
+			t.nextFactor = s.drawFactor(js)
+		}
+		v.TNew = t.work * t.nextFactor
+	} else {
+		if record && t.tnewBias == 0 {
+			t.tnewBias = s.est.SampleTNewBias()
+		}
+		v.TNew = s.est.NormalizedMedian() * t.work * t.tnewBias
+	}
+	return v
+}

@@ -28,6 +28,14 @@ func (NoSpec) Pick(_ Ctx, tasks []TaskView) (Decision, bool) {
 	return Decision{}, false
 }
 
+// PickIncremental implements IncrementalPolicy: the FIFO head in O(1).
+func (NoSpec) PickIncremental(_ Ctx, vs *ViewSet) (Decision, bool) {
+	if u, ok := vs.FirstUnsched(); ok {
+		return Decision{TaskIndex: u}, true
+	}
+	return Decision{}, false
+}
+
 // LATE implements the LATE scheduler's speculation rules:
 //
 //   - new (unscheduled) tasks always take priority, in FIFO order;
@@ -141,6 +149,64 @@ func (l LATE) Pick(ctx Ctx, tasks []TaskView) (Decision, bool) {
 	return Decision{TaskIndex: tasks[best].Index, Speculative: true}, true
 }
 
+// PickIncremental implements IncrementalPolicy: the FIFO head is O(1) and
+// the percentile machinery runs over just the running set — LATE's scan
+// was O(tasks) only because it walked every view to find both.
+func (l LATE) PickIncremental(ctx Ctx, vs *ViewSet) (Decision, bool) {
+	if u, ok := vs.FirstUnsched(); ok {
+		return Decision{TaskIndex: u}, true
+	}
+	cap := int(l.SpeculativeCap * float64(ctx.WaveWidth))
+	if cap < 1 {
+		cap = 1
+	}
+	if ctx.SpeculativeCopies >= cap {
+		return Decision{}, false
+	}
+	var cands []lateCand
+	var rates []float64
+	if l.buf != nil {
+		cands, rates = l.buf.cands[:0], l.buf.rates[:0]
+	}
+	// vs.Running() ascends by task index — the same relative order the
+	// reference scan visits running views in, so the percentile inputs
+	// and every first-wins tie-break below match it exactly.
+	for _, i := range vs.Running() {
+		t := vs.At(i)
+		if !t.Speculable || t.Copies >= 2 || t.Elapsed < l.MinElapsed || t.Elapsed <= 0 {
+			continue
+		}
+		r := t.Progress / t.Elapsed
+		cands = append(cands, lateCand{i, r})
+		rates = append(rates, r)
+	}
+	if l.buf != nil {
+		l.buf.cands, l.buf.rates = cands, rates
+	}
+	if len(cands) == 0 {
+		return Decision{}, false
+	}
+	thr := percentile(rates, l.SlowTaskThreshold)
+	best := -1
+	var bestLeft float64
+	for _, c := range cands {
+		if c.rate >= thr && c.rate > 0 {
+			continue
+		}
+		left := math.Inf(1)
+		if c.rate > 0 {
+			left = (1 - vs.At(c.i).Progress) / c.rate
+		}
+		if best == -1 || left > bestLeft {
+			best, bestLeft = c.i, left
+		}
+	}
+	if best == -1 {
+		return Decision{}, false
+	}
+	return Decision{TaskIndex: best, Speculative: true}, true
+}
+
 // Mantri implements Mantri's duplicate rule: schedule a restart/duplicate
 // for an outlier only when doing so is likely to reduce total resource
 // usage, i.e. when the remaining time is at least twice a fresh copy
@@ -179,6 +245,29 @@ func (m Mantri) Pick(ctx Ctx, tasks []TaskView) (Decision, bool) {
 		if !t.Running {
 			return Decision{TaskIndex: t.Index}, true
 		}
+	}
+	return Decision{}, false
+}
+
+// PickIncremental implements IncrementalPolicy: the outlier scan covers
+// only the running set; the FIFO fallback is O(1).
+func (m Mantri) PickIncremental(_ Ctx, vs *ViewSet) (Decision, bool) {
+	best := -1
+	var bestRatio float64
+	for _, i := range vs.Running() {
+		t := vs.At(i)
+		if !t.Speculable || t.Copies >= 2 || t.TNew <= 0 {
+			continue
+		}
+		if r := t.TRem / t.TNew; r > m.Threshold && (best == -1 || r > bestRatio) {
+			best, bestRatio = i, r
+		}
+	}
+	if best != -1 {
+		return Decision{TaskIndex: best, Speculative: true}, true
+	}
+	if u, ok := vs.FirstUnsched(); ok {
+		return Decision{TaskIndex: u}, true
 	}
 	return Decision{}, false
 }

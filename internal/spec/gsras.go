@@ -27,6 +27,74 @@ func (g GS) Pick(ctx Ctx, tasks []TaskView) (Decision, bool) {
 	return gsError(ctx, tasks, g.buf)
 }
 
+// PickIncremental implements IncrementalPolicy: the same selections as
+// Pick, answered from the maintained orderings in O(running + log tasks).
+func (g GS) PickIncremental(ctx Ctx, vs *ViewSet) (Decision, bool) {
+	if ctx.Kind == task.DeadlineBound {
+		return gsDeadlineInc(ctx, vs)
+	}
+	return gsErrorInc(ctx, vs)
+}
+
+// gsDeadlineInc mirrors gsDeadline: minimum (TNew, index) over eligible
+// candidates. Eligible running tasks are scanned directly (the set is
+// bounded by the job's slot share); the unscheduled minimum is the order
+// head — if even it exceeds the deadline, no unscheduled task qualifies.
+func gsDeadlineInc(ctx Ctx, vs *ViewSet) (Decision, bool) {
+	best := -1
+	var bestNew float64
+	for _, i := range vs.Running() {
+		t := vs.At(i)
+		if t.TNew > ctx.RemainingTime {
+			continue
+		}
+		if !t.Speculable || t.Copies >= MaxCopies || t.TNew >= t.TRem {
+			continue
+		}
+		if best == -1 || t.TNew < bestNew {
+			best, bestNew = i, t.TNew
+		}
+	}
+	if u, ok := vs.MinTNewUnsched(); ok {
+		if tn := vs.At(u).TNew; tn <= ctx.RemainingTime {
+			if best == -1 || tn < bestNew || (tn == bestNew && u < best) {
+				best = u
+			}
+		}
+	}
+	if best == -1 {
+		return Decision{}, false
+	}
+	return Decision{TaskIndex: best, Speculative: vs.At(best).Running}, true
+}
+
+// gsErrorInc mirrors gsError: LJF over the earliest set, with running
+// candidates keyed by TRem and the unscheduled fresh candidate coming
+// from the maintained order.
+func gsErrorInc(ctx Ctx, vs *ViewSet) (Decision, bool) {
+	runIn, fresh := vs.EarliestCandidates(ctx.Remaining())
+	best := -1
+	var bestKey float64
+	for _, i := range runIn {
+		t := vs.At(i)
+		if !t.Speculable || t.Copies >= MaxCopies || t.TNew >= t.TRem {
+			continue
+		}
+		if best == -1 || t.TRem > bestKey {
+			best, bestKey = i, t.TRem
+		}
+	}
+	if fresh >= 0 {
+		if tn := vs.At(fresh).TNew; best == -1 || tn > bestKey || (tn == bestKey && fresh < best) {
+			best = fresh
+		}
+	}
+	if best == -1 {
+		return Decision{}, false
+	}
+	return Decision{TaskIndex: best, Speculative: vs.At(best).Running}, true
+}
+
 // gsDeadline: prune tasks that cannot finish by the deadline and speculative
 // copies that would not beat the running copy; select the lowest t_new.
 func gsDeadline(ctx Ctx, tasks []TaskView) (Decision, bool) {
@@ -73,7 +141,11 @@ func gsError(ctx Ctx, tasks []TaskView, buf *scratch) (Decision, bool) {
 		if t.Running {
 			key = t.TRem
 		}
-		if best == -1 || key > bestKey {
+		// Explicit (key, lowest-index) tie-break: cand's order is the
+		// quickselect's arbitrary partition order, so a first-wins
+		// comparison alone would not be deterministic — and the
+		// incremental path reproduces exactly this rule.
+		if best == -1 || key > bestKey || (key == bestKey && i < best) {
 			best, bestKey = i, key
 		}
 	}
@@ -106,6 +178,62 @@ func (r RAS) Pick(ctx Ctx, tasks []TaskView) (Decision, bool) {
 		return rasDeadline(ctx, tasks)
 	}
 	return rasError(ctx, tasks, r.buf)
+}
+
+// PickIncremental implements IncrementalPolicy: Pick's selections from the
+// maintained orderings in O(running + log tasks).
+func (r RAS) PickIncremental(ctx Ctx, vs *ViewSet) (Decision, bool) {
+	if ctx.Kind == task.DeadlineBound {
+		return rasDeadlineInc(ctx, vs)
+	}
+	return rasErrorInc(ctx, vs)
+}
+
+// rasDeadlineInc mirrors rasDeadline: best positive saving among running
+// tasks within the deadline, else SJF over unscheduled tasks.
+func rasDeadlineInc(ctx Ctx, vs *ViewSet) (Decision, bool) {
+	spec := -1
+	var specSaving float64
+	for _, i := range vs.Running() {
+		t := vs.At(i)
+		if t.TNew > ctx.RemainingTime || !t.Speculable || t.Copies >= MaxCopies {
+			continue
+		}
+		if s := t.Saving(); s > 0 && (spec == -1 || s > specSaving) {
+			spec, specSaving = i, s
+		}
+	}
+	if spec >= 0 {
+		return Decision{TaskIndex: spec, Speculative: true}, true
+	}
+	if u, ok := vs.MinTNewUnsched(); ok && vs.At(u).TNew <= ctx.RemainingTime {
+		return Decision{TaskIndex: u}, true
+	}
+	return Decision{}, false
+}
+
+// rasErrorInc mirrors rasError: best positive saving inside the earliest
+// set, else LJF over the set's unscheduled tasks.
+func rasErrorInc(ctx Ctx, vs *ViewSet) (Decision, bool) {
+	runIn, fresh := vs.EarliestCandidates(ctx.Remaining())
+	spec := -1
+	var specSaving float64
+	for _, i := range runIn {
+		t := vs.At(i)
+		if !t.Speculable || t.Copies >= MaxCopies {
+			continue
+		}
+		if s := t.Saving(); s > 0 && (spec == -1 || s > specSaving) {
+			spec, specSaving = i, s
+		}
+	}
+	if spec >= 0 {
+		return Decision{TaskIndex: spec, Speculative: true}, true
+	}
+	if fresh >= 0 {
+		return Decision{TaskIndex: fresh}, true
+	}
+	return Decision{}, false
 }
 
 func rasDeadline(ctx Ctx, tasks []TaskView) (Decision, bool) {
@@ -151,10 +279,11 @@ func rasError(ctx Ctx, tasks []TaskView, buf *scratch) (Decision, bool) {
 			if !t.Speculable || t.Copies >= MaxCopies {
 				continue
 			}
-			if s := t.Saving(); s > 0 && (spec == -1 || s > specSaving) {
+			// (saving, lowest-index) tie-break — see gsError.
+			if s := t.Saving(); s > 0 && (spec == -1 || s > specSaving || (s == specSaving && i < spec)) {
 				spec, specSaving = i, s
 			}
-		} else if fresh == -1 || t.TNew > freshKey { // LJF over unscheduled
+		} else if fresh == -1 || t.TNew > freshKey || (t.TNew == freshKey && i < fresh) { // LJF over unscheduled
 			fresh, freshKey = i, t.TNew
 		}
 	}
@@ -201,8 +330,12 @@ type scratch struct {
 // TargetTasks − CompletedTasks; if more tasks remain than needed, the
 // slowest ones are pruned from consideration entirely. Selection uses an
 // O(n) quickselect (this runs once per launch decision); ties at the
-// threshold are broken by task index for determinism. buf, when non-nil,
-// supplies reusable buffers so the hot path allocates nothing.
+// threshold are broken by task index for determinism. The returned
+// indices are in the quickselect's arbitrary partition order — consumers
+// must use order-independent (key, lowest-index) tie-breaks, the contract
+// the incremental path (EarliestCandidates) reproduces without a scan.
+// buf, when non-nil, supplies reusable buffers so the hot path allocates
+// nothing.
 func earliestSet(ctx Ctx, tasks []TaskView, buf *scratch) []int {
 	need := ctx.Remaining()
 	if need <= 0 {

@@ -109,6 +109,28 @@ type Policy interface {
 	Pick(ctx Ctx, tasks []TaskView) (Decision, bool)
 }
 
+// IncrementalPolicy is the optional delta-aware fast path of a Policy: the
+// scheduler keeps a ViewSet alive across events — dirtying only the tasks
+// an event touched (copy launch/finish/preemption, an estimator update
+// whose normalized median actually moved) and re-deriving only those views
+// before the next launch attempt — and the policy selects from the
+// maintained orderings instead of rescanning every task.
+//
+// The contract mirrors Pick exactly: given the same job state,
+// PickIncremental must return the identical Decision (including
+// first-wins index tie-breaks) that Pick would return for the equivalent
+// freshly built view slice — Pick stays the executable reference, and the
+// scheduler's differential tests hold implementations to it. The ViewSet
+// is refreshed by the scheduler before each call; implementations must
+// not mutate it and may not retain it across calls.
+type IncrementalPolicy interface {
+	Policy
+	// PickIncremental returns the next launch, or ok=false to leave the
+	// slot idle, selecting from the incrementally maintained candidate
+	// state instead of a rebuilt view slice.
+	PickIncremental(ctx Ctx, vs *ViewSet) (Decision, bool)
+}
+
 // Observer is an optional interface for policies that learn from job
 // outcomes (GRASS's sample collection). The scheduler calls OnJobEnd exactly
 // once per job.
