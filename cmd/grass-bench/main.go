@@ -8,6 +8,13 @@
 //	grass-bench -profile perf      # also write CPU/heap profiles
 //	grass-bench -jobs 1000000      # streaming replay: a million mixed jobs
 //	                               # in bounded memory, high-water reported
+//	grass-bench -jobs 1000000 -shards 4
+//	                               # the same trace partitioned 4 ways and
+//	                               # executed on 4 worker goroutines; the
+//	                               # merge is deterministic, so the output
+//	                               # is identical for any -shards at a
+//	                               # fixed -partitions (README "Sharded
+//	                               # execution")
 //
 // Output is plain-text tables with the same rows/series the paper plots.
 // With -profile, CPU samples cover the runs and a heap profile is written
@@ -54,6 +61,8 @@ func run() int {
 		workload = flag.String("workload", "facebook", "replay workload: facebook | bing")
 		bound    = flag.String("bound", "mixed", "replay bound mode: mixed | deadline | error | exact")
 		seed     = flag.Int64("seed", 1, "replay seed")
+		shards   = flag.Int("shards", 1, "replay worker goroutines executing partitions; with -partitions set explicitly this never changes results, but when -partitions is 0 it also sets the partition count, which IS model-visible")
+		parts    = flag.Int("partitions", 0, "replay partition count — the sharded model: cluster and trace split with a deterministic merge; results are comparable only at equal partition counts (0 = same as -shards; 1 = the plain engine)")
 	)
 	flag.Parse()
 
@@ -102,7 +111,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "grass-bench: -jobs (streaming replay) cannot be combined with -fig or -full")
 			return 1
 		}
-		return runReplay(*jobs, *policy, *workload, *bound, *seed)
+		return runReplay(*jobs, *policy, *workload, *bound, *seed, *shards, *parts)
 	}
 
 	cfg := exp.Quick()
@@ -133,10 +142,12 @@ func run() int {
 }
 
 // runReplay executes one streaming replay and renders its aggregates.
-func runReplay(jobs int, policy, workload, bound string, seed int64) int {
+func runReplay(jobs int, policy, workload, bound string, seed int64, shards, partitions int) int {
 	rc := exp.DefaultReplayConfig(jobs)
 	rc.Policy = policy
 	rc.Seed = seed
+	rc.Shards = shards
+	rc.Partitions = partitions
 	var err error
 	if rc.Workload, err = trace.ParseWorkload(workload); err != nil {
 		fmt.Fprintf(os.Stderr, "grass-bench: %v\n", err)

@@ -175,6 +175,87 @@ func SimulateStreamFold(cfg SimConfig, policy string, src JobSource, fold func(J
 	return simulateSource(cfg, policy, src, fold)
 }
 
+// SimOption configures SimulateTrace — the options-pattern entry point
+// for simulations that want more than the positional defaults (sharded
+// execution, streamed result folding).
+type SimOption func(*simOptions)
+
+type simOptions struct {
+	shards     int
+	partitions int
+	fold       func(JobResult)
+}
+
+// WithShards sets the number of worker goroutines executing the
+// simulation's partitions. At a fixed partition count the shard count is
+// pure execution parallelism: results are byte-identical for any value —
+// it only changes wall clock. BUT when WithPartitions is not given, the
+// partition count follows the shard count ("split k ways and run on k
+// cores"), and the partition count IS model-visible — pass
+// WithPartitions explicitly to vary worker counts against one model.
+// Values above the partition count are clamped; 0 (the default) means
+// one worker.
+func WithShards(k int) SimOption { return func(o *simOptions) { o.shards = k } }
+
+// WithPartitions sets the partition count — the sharded-execution MODEL:
+// the cluster's machines and the trace are split into this many
+// self-contained sub-simulations (fair sharing is scoped to a partition)
+// whose outputs are merged deterministically. 1, the default, is the
+// plain engine; 0 follows WithShards, so WithShards(4) alone means
+// "split 4 ways and run on 4 cores". Results are comparable only at
+// equal partition counts.
+func WithPartitions(p int) SimOption { return func(o *simOptions) { o.partitions = p } }
+
+// WithFold streams each job's result to fn in ascending JobID order
+// instead of accumulating RunStats.Results, so nothing retained grows
+// with the trace length — the sharded counterpart of SimulateStreamFold.
+func WithFold(fn func(JobResult)) SimOption { return func(o *simOptions) { o.fold = fn } }
+
+// SimulateTrace generates cfg's synthetic workload lazily and simulates
+// it under the named policy — the sharding-capable, options-pattern entry
+// point. With no options it is SimulateStream over StreamTrace(tc):
+// one partition, one worker, results accumulated. WithPartitions /
+// WithShards partition the run across cores with a deterministic merge;
+// the trace is consumed as per-partition shard streams, so no
+// materialization happens at any partition count.
+func SimulateTrace(sc SimConfig, tc TraceConfig, policy string, opts ...SimOption) (*RunStats, error) {
+	var o simOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.shards <= 0 {
+		o.shards = 1
+	}
+	if o.partitions <= 0 {
+		o.partitions = o.shards
+	}
+	if err := tc.Validate(); err != nil {
+		return nil, err
+	}
+	_, oracleMode, err := exp.NewFactory(policy, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sc.Oracle = oracleMode
+	run := sched.ShardedRun{
+		Config:  sc,
+		Parts:   o.partitions,
+		Workers: o.shards,
+		NewFactory: func(seed int64) (PolicyFactory, error) {
+			f, _, err := exp.NewFactory(policy, seed)
+			return f, err
+		},
+		NewSource: func(p int) (JobSource, error) {
+			return trace.NewShardStream(tc, p, o.partitions)
+		},
+	}
+	if o.fold != nil {
+		run.OnResult = o.fold
+		run.Jobs = tc.Jobs
+	}
+	return sched.RunSharded(run)
+}
+
 func simulateSource(cfg SimConfig, policy string, src JobSource, fold func(JobResult)) (*RunStats, error) {
 	sim, err := newSimulator(cfg, policy)
 	if err != nil {

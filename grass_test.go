@@ -172,3 +172,75 @@ func TestMetricsHelpers(t *testing.T) {
 		}
 	}
 }
+
+// TestSimulateTraceOptions pins the options-pattern entry point: with no
+// options it reproduces SimulateStream exactly; with partitions the output
+// is invariant to the shard (worker) count; and WithFold streams results
+// in ascending JobID order without accumulating.
+func TestSimulateTraceOptions(t *testing.T) {
+	tc := smallTrace(grass.MixedBound, 7)
+	stream, err := grass.StreamTrace(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := grass.SimulateStream(smallSim(7), "gs", stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := grass.SimulateTrace(smallSim(7), tc, "gs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SimulateTrace (no options) differs from SimulateStream:\n got: %+v\nwant: %+v", got, want)
+	}
+
+	part2, err := grass.SimulateTrace(smallSim(7), tc, "gs", grass.WithPartitions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 8} {
+		again, err := grass.SimulateTrace(smallSim(7), tc, "gs",
+			grass.WithPartitions(2), grass.WithShards(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(again, part2) {
+			t.Fatalf("WithShards(%d) changed partitioned output", shards)
+		}
+	}
+	if len(part2.Results) != tc.Jobs {
+		t.Fatalf("partitioned run returned %d results, want %d", len(part2.Results), tc.Jobs)
+	}
+
+	next := 0
+	folded, err := grass.SimulateTrace(smallSim(7), tc, "gs",
+		grass.WithPartitions(2), grass.WithShards(2),
+		grass.WithFold(func(r grass.JobResult) {
+			if r.JobID != next {
+				t.Fatalf("fold got job %d at position %d — not ascending JobID order", r.JobID, next)
+			}
+			if !reflect.DeepEqual(r, part2.Results[next]) {
+				t.Fatalf("folded job %d differs from accumulated result", r.JobID)
+			}
+			next++
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != tc.Jobs {
+		t.Fatalf("fold saw %d jobs, want %d", next, tc.Jobs)
+	}
+	if len(folded.Results) != 0 {
+		t.Fatal("WithFold still accumulated results")
+	}
+
+	if _, err := grass.SimulateTrace(smallSim(7), tc, "nope"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	bad := tc
+	bad.Jobs = 0
+	if _, err := grass.SimulateTrace(smallSim(7), bad, "gs"); err == nil {
+		t.Fatal("invalid trace config accepted")
+	}
+}

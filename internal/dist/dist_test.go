@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"fmt"
 	"math"
 	"testing"
 )
@@ -348,5 +349,31 @@ func TestHillPlotGrid(t *testing.T) {
 	}
 	if HillPlot(samples[:2], 1, 10, 5) != nil {
 		t.Fatal("degenerate input should yield nil")
+	}
+}
+
+// TestSubSeed: child seeds are a pure function of (seed, i), distinct from
+// each other and from the parent across a broad sweep, and their RNG
+// streams diverge immediately — the property the partitioned simulator's
+// per-shard seeding rests on.
+func TestSubSeed(t *testing.T) {
+	seen := make(map[int64]string)
+	for _, seed := range []int64{0, 1, 2, 3, -1, 1 << 40} {
+		seen[seed] = "parent"
+		for i := 0; i < 64; i++ {
+			c := SubSeed(seed, i)
+			if c != SubSeed(seed, i) {
+				t.Fatal("SubSeed not deterministic")
+			}
+			key := fmt.Sprintf("seed %d child %d", seed, i)
+			if prev, dup := seen[c]; dup {
+				t.Fatalf("SubSeed collision: %s == %s (%d)", key, prev, c)
+			}
+			seen[c] = key
+			a, b := NewRNG(seed), NewRNG(c)
+			if a.Uint64() == b.Uint64() {
+				t.Fatalf("%s: child stream opens with the parent's draw", key)
+			}
+		}
 	}
 }

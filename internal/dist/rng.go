@@ -41,6 +41,20 @@ func NewRNG(seed int64) *RNG {
 	return &RNG{state: mix64(uint64(seed)), gamma: goldenGamma}
 }
 
+// SubSeed derives the i-th child seed of seed — the seed-level analog of
+// RNG.Split for components that take a seed rather than a stream (a
+// partitioned simulation seeds each partition's simulator with
+// SubSeed(seed, partition)). Children of one seed are statistically
+// independent of each other and of NewRNG(seed)'s own stream: the child
+// state is the parent's pre-mixed state advanced i+1 gamma steps and
+// hashed, exactly how Split derives a child state — but skipping the
+// parent's draw history, so the derivation is a pure function of
+// (seed, i). SubSeed(seed, i) != seed for all practical i (that would
+// need a mix64 fixed point).
+func SubSeed(seed int64, i int) int64 {
+	return int64(mix64(mix64(uint64(seed)) + (uint64(i)+1)*goldenGamma))
+}
+
 // mix64 is SplitMix64's output hash (Stafford variant 13).
 func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9

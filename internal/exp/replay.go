@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/approx-analytics/grass/internal/sched"
+	"github.com/approx-analytics/grass/internal/spec"
 	"github.com/approx-analytics/grass/internal/task"
 	"github.com/approx-analytics/grass/internal/trace"
 )
@@ -44,6 +45,19 @@ type ReplayConfig struct {
 	Seed int64
 	// MemSample sets the heap sampling interval; 0 means 20ms.
 	MemSample time.Duration
+
+	// Partitions is the sharded-execution model: the cluster and trace are
+	// split into this many self-contained partitions with a deterministic
+	// merge (sched.RunSharded). 1 is the plain engine; 0 follows Shards —
+	// "replay sharded 4 ways" usually means both. The partition count
+	// changes the simulated model (fair sharing is scoped to a partition),
+	// so results are comparable only at equal Partitions.
+	Partitions int
+	// Shards is the number of worker goroutines executing partitions. At a
+	// fixed Partitions it never affects results — only wall clock — but
+	// when Partitions is 0 it also sets the partition count, which is
+	// model-visible; 0 means 1.
+	Shards int
 }
 
 // DefaultReplayConfig returns a mixed Facebook/Hadoop replay of n jobs —
@@ -75,6 +89,13 @@ type ReplayStats struct {
 	MeanUtilization float64
 	Wall            time.Duration
 
+	// Partitions and Shards echo the sharded-execution configuration the
+	// replay ran under. ShardWalls holds each partition's own wall clock
+	// when Partitions > 1: Σ/max is the speedup bound extra cores can
+	// realize, reported by Render as the balance line.
+	Partitions, Shards int
+	ShardWalls         []time.Duration
+
 	// Per-class aggregates: deadline jobs report mean accuracy, error-bound
 	// (and exact) jobs mean input duration — the paper's two headline axes.
 	DeadlineJobs     int
@@ -95,6 +116,21 @@ type ReplayStats struct {
 func (r *ReplayStats) Render(w io.Writer) {
 	fmt.Fprintf(w, "== Streaming replay: %d jobs, %d events, makespan %.0f, util %.2f [%v]\n",
 		r.Jobs, r.Events, r.Makespan, r.MeanUtilization, r.Wall.Round(time.Millisecond))
+	if r.Partitions > 1 {
+		var sum, max time.Duration
+		for _, d := range r.ShardWalls {
+			sum += d
+			if d > max {
+				max = d
+			}
+		}
+		balance := 0.0
+		if max > 0 {
+			balance = float64(sum) / float64(max)
+		}
+		fmt.Fprintf(w, "%-24s %d partitions on %d shard workers; balance %.2fx (sum/max partition wall — the ceiling extra cores can reach)\n",
+			"sharded execution", r.Partitions, r.Shards, balance)
+	}
 	fmt.Fprintf(w, "%-24s %12d %12d %12d\n", "jobs per bin (<50/51-500/>500)", r.BinCounts[0], r.BinCounts[1], r.BinCounts[2])
 	fmt.Fprintf(w, "%-24s %12d   mean accuracy  %8.4f\n", "deadline jobs", r.DeadlineJobs, r.MeanAccuracy)
 	fmt.Fprintf(w, "%-24s %12d   mean input dur %8.2f\n", "error/exact jobs", r.ErrorJobs, r.MeanInputDur)
@@ -173,18 +209,20 @@ func Replay(cfg ReplayConfig) (*ReplayStats, error) {
 	if cfg.MemSample == 0 {
 		cfg.MemSample = def.MemSample
 	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Partitions == 0 {
+		cfg.Partitions = cfg.Shards
+	}
 
 	tc := trace.DefaultConfig(cfg.Workload, cfg.Framework, cfg.Bound)
 	tc.Jobs = cfg.Jobs
 	tc.Seed = cfg.Seed
 	tc.Slots = cfg.Machines * cfg.SlotsPerMachine
 	tc.Load = cfg.Load
-	stream, err := trace.NewStream(tc)
-	if err != nil {
-		return nil, err
-	}
 
-	factory, oracleMode, err := NewFactory(cfg.Policy, cfg.Seed)
+	_, oracleMode, err := NewFactory(cfg.Policy, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -196,14 +234,10 @@ func Replay(cfg ReplayConfig) (*ReplayStats, error) {
 	// The default event ceiling guards tests; a million-job replay
 	// legitimately fires hundreds of millions of events.
 	scfg.MaxEvents = uint64(cfg.Jobs)*2000 + 1_000_000
-	sim, err := sched.New(scfg, factory)
-	if err != nil {
-		return nil, err
-	}
 
-	rs := &ReplayStats{Jobs: cfg.Jobs}
+	rs := &ReplayStats{Jobs: cfg.Jobs, Partitions: cfg.Partitions, Shards: cfg.Shards}
 	var accSum, durSum float64
-	sim.OnResult(func(r sched.JobResult) {
+	fold := func(r sched.JobResult) {
 		rs.BinCounts[int(r.Bin)]++
 		if r.Kind == task.DeadlineBound {
 			rs.DeadlineJobs++
@@ -214,12 +248,33 @@ func Replay(cfg ReplayConfig) (*ReplayStats, error) {
 		}
 		rs.Launched += int64(r.Launched)
 		rs.Killed += int64(r.Killed)
-	})
+	}
+
+	// The partitioned runner: Partitions is the model, Shards the worker
+	// count. Partitions == 1 takes RunSharded's plain-engine reduction, so
+	// an unsharded replay is exactly the pre-sharding pipeline.
+	walls := make([]time.Duration, cfg.Partitions)
+	run := sched.ShardedRun{
+		Config:  scfg,
+		Parts:   cfg.Partitions,
+		Workers: cfg.Shards,
+		NewFactory: func(seed int64) (spec.Factory, error) {
+			f, _, err := NewFactory(cfg.Policy, seed)
+			return f, err
+		},
+		NewSource: func(p int) (sched.Source, error) {
+			return trace.NewShardStream(tc, p, cfg.Partitions)
+		},
+		OnResult: fold,
+		Jobs:     cfg.Jobs,
+		Walls:    walls,
+	}
 
 	watch := startMemWatch(cfg.MemSample)
 	t0 := time.Now()
-	stats, err := sim.RunSource(stream)
+	stats, err := sched.RunSharded(run)
 	rs.Wall = time.Since(t0)
+	rs.ShardWalls = walls
 	rs.HeapHighWater, rs.HeapSysHighWater = watch.finish()
 	if err != nil {
 		return nil, err

@@ -2,6 +2,8 @@ package exp
 
 import (
 	"bytes"
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -83,5 +85,68 @@ func TestReplayRejectsBadConfig(t *testing.T) {
 	rc.Policy = "bogus"
 	if _, err := Replay(rc); err == nil {
 		t.Fatal("bogus policy accepted")
+	}
+}
+
+// TestReplayShardInvariance: the shard (worker) count never touches replay
+// results — only the partition count is model-visible — and one partition
+// reduces to the plain pre-sharding replay exactly.
+func TestReplayShardInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full streaming replay")
+	}
+	run := func(partitions, shards int) *ReplayStats {
+		rc := replayTestConfig(200)
+		rc.Partitions = partitions
+		rc.Shards = shards
+		rs, err := Replay(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Normalize the execution-only fields before comparison.
+		rs.Wall, rs.ShardWalls, rs.Shards = 0, nil, 0
+		rs.HeapHighWater, rs.HeapSysHighWater = 0, 0
+		return rs
+	}
+	plain := run(1, 1)
+	for _, shards := range []int{2, 4, 8} {
+		if got := run(1, shards); !reflect.DeepEqual(got, plain) {
+			t.Fatalf("partitions=1 shards=%d changed the replay:\n got: %+v\nwant: %+v", shards, got, plain)
+		}
+	}
+	four := run(4, 1)
+	for _, shards := range []int{2, 4, 8} {
+		if got := run(4, shards); !reflect.DeepEqual(got, four) {
+			t.Fatalf("partitions=4 shards=%d changed the replay:\n got: %+v\nwant: %+v", shards, got, four)
+		}
+	}
+	if four.ErrorJobs+four.DeadlineJobs != 200 {
+		t.Fatalf("partitioned replay lost jobs: %+v", four)
+	}
+}
+
+// TestReplayShardedGolden pins the partitioned replay's headline
+// aggregates for a fixed seed — the golden leg of the sharded-determinism
+// evidence. These values must never move underneath a refactor of the
+// sharding machinery: the model is only allowed to change when the
+// partitioner or the engine changes deliberately (note it in the git
+// history and regenerate, as with the simulation goldens).
+func TestReplayShardedGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full streaming replay")
+	}
+	rc := replayTestConfig(200)
+	rc.Partitions = 4
+	rc.Shards = 2
+	rs, err := Replay(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fmt.Sprintf("jobs=%d events=%d makespan=%.6f acc=%.6f dur=%.6f launched=%d killed=%d bins=%d/%d/%d",
+		rs.DeadlineJobs+rs.ErrorJobs, rs.Events, rs.Makespan, rs.MeanAccuracy, rs.MeanInputDur,
+		rs.Launched, rs.Killed, rs.BinCounts[0], rs.BinCounts[1], rs.BinCounts[2])
+	const want = "jobs=200 events=35125 makespan=22663.595005 acc=0.485074 dur=212.074533 launched=53724 killed=18503 bins=104/70/26"
+	if got != want {
+		t.Fatalf("sharded replay golden moved:\n got: %s\nwant: %s", got, want)
 	}
 }

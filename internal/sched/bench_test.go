@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"github.com/approx-analytics/grass/internal/estimate"
 	"github.com/approx-analytics/grass/internal/spec"
 	"github.com/approx-analytics/grass/internal/task"
+	"github.com/approx-analytics/grass/internal/trace"
 )
 
 // benchConfig is the cluster used by the dispatch benchmarks: big enough for
@@ -235,6 +237,63 @@ func BenchmarkLargeJobReplay(b *testing.B) {
 	b.Run("rebuild", func(b *testing.B) {
 		run(b, func() spec.Factory { return rebuildOnly{spec.Stateless(spec.NewGS())} })
 	})
+}
+
+// BenchmarkShardedReplay is the shard-scaling benchmark: a mixed-bound
+// streamed trace partitioned 4 ways (the model is FIXED across
+// sub-benchmarks — every workers= variant computes byte-identical
+// results) and executed with 1, 2 and 4 worker goroutines. On a
+// multi-core machine ns/op falls toward max(partition wall); the
+// "balance" metric (Σ partition walls / max partition wall) is the
+// machine-independent ceiling on that speedup — ≥2.5 at 4 partitions is
+// the scaling sanity floor scripts/perfwall.sh walls, and the figure that
+// bounds what -shards 4 buys on the 1M-job replay (BENCH_sim.json PR-5).
+func BenchmarkShardedReplay(b *testing.B) {
+	const parts = 4
+	cfg := benchConfig(1)
+	tc := trace.DefaultConfig(trace.Facebook, trace.Hadoop, trace.MixedBound)
+	tc.Jobs = 2000
+	tc.Seed = 1
+	tc.Slots = cfg.Cluster.Machines * cfg.Cluster.SlotsPerMachine
+	tc.Load = 0.7
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var events uint64
+			var sumWall, maxWallSum time.Duration
+			walls := make([]time.Duration, parts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stats, err := RunSharded(ShardedRun{
+					Config:  cfg,
+					Parts:   parts,
+					Workers: workers,
+					NewFactory: func(int64) (spec.Factory, error) {
+						return spec.Stateless(spec.NewGS()), nil
+					},
+					NewSource: func(p int) (Source, error) { return trace.NewShardStream(tc, p, parts) },
+					Walls:     walls,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += stats.Events
+				var max time.Duration
+				for _, w := range walls {
+					sumWall += w
+					if w > max {
+						max = w
+					}
+				}
+				maxWallSum += max
+			}
+			if events > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+			}
+			if maxWallSum > 0 {
+				b.ReportMetric(float64(sumWall)/float64(maxWallSum), "balance")
+			}
+		})
+	}
 }
 
 // BenchmarkBuildViews measures the per-launch-attempt view cost for one

@@ -89,7 +89,9 @@ func TestWaterfillShares(t *testing.T) {
 	}
 	mk := func(id, n int) *jobState {
 		j := uniformJob(id, n, task.Exact(), 0)
-		return &jobState{job: j, phase: s.newInputPhase(j)}
+		js := &jobState{job: j}
+		js.phase = s.newInputPhase(js, j)
+		return js
 	}
 	small := mk(0, 4)
 	big1 := mk(1, 100)
@@ -115,7 +117,8 @@ func TestWaterfillSharesUnderDemand(t *testing.T) {
 		t.Fatal(err)
 	}
 	j := uniformJob(0, 7, task.Exact(), 0)
-	js := &jobState{job: j, phase: s.newInputPhase(j)}
+	js := &jobState{job: j}
+	js.phase = s.newInputPhase(js, j)
 	s.active = []*jobState{js}
 	s.insertDemand(js)
 	s.refreshShares()

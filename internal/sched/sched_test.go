@@ -454,3 +454,41 @@ func TestGRASSIntegration(t *testing.T) {
 		t.Fatal("learner collected no samples")
 	}
 }
+
+// TestJobStateRecycling: finished jobs hand their runtime state — the
+// jobState, its incremental ViewSet arrays and phase task blocks — back to
+// the simulator's free list, and later admissions reuse it. Behavioral
+// neutrality is pinned separately (goldens, the differential harnesses);
+// this guards the recycling itself so the PR-5 allocation win cannot
+// silently regress to per-job allocation.
+func TestJobStateRecycling(t *testing.T) {
+	s, err := New(smallConfig(21), spec.Stateless(spec.NewGS()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]*task.Job, 0, 8)
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, uniformJob(i, 12, task.Exact(), float64(i)*40))
+	}
+	// Sequential arrivals far apart: at most one job is ever active, so
+	// every admission after the first must find a pooled jobState.
+	if _, err := s.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.jsPool) == 0 {
+		t.Fatal("no jobState returned to the pool")
+	}
+	if len(s.jsPool) > 1 {
+		t.Fatalf("%d pooled jobStates after non-overlapping jobs — admissions are not reusing them", len(s.jsPool))
+	}
+	js := s.jsPool[0]
+	if js.job != nil || js.policy != nil || js.phase != nil || js.deadlineEv != nil {
+		t.Fatalf("pooled jobState retains references: %+v", js)
+	}
+	if cap(js.taskRuns) == 0 || cap(js.taskPtrs) == 0 {
+		t.Fatal("pooled jobState lost its recycled phase storage")
+	}
+	if js.deadlineFn == nil {
+		t.Fatal("pooled jobState lost its reusable deadline closure")
+	}
+}

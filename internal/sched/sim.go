@@ -122,6 +122,31 @@ type jobState struct {
 	deadlineEv       *simevent.Event
 	inputEnd         float64
 	res              JobResult
+
+	// Pooled per-job storage, kept across phases and — via the simulator's
+	// jobState free list — across jobs: the phase's task pointer slice, the
+	// block of taskRun values it points into, the phaseRun they live in,
+	// and the reusable deadline-event closure (built once per pooled
+	// instance, like copyRun.fn). Only one phase is alive at a time, so
+	// one buffer serves the whole DAG.
+	taskPtrs   []*taskRun
+	taskRuns   []taskRun
+	phaseBuf   phaseRun
+	deadlineFn func(*simevent.Engine)
+}
+
+// phaseStorage returns task slices of length n backed by the job's pooled
+// buffers, minting capacity on first use. The previous phase's tasks are
+// dead by the time a new phase is built (its copies were killed and its
+// stats recorded), so overwriting the same block is safe.
+func (js *jobState) phaseStorage(n int) ([]*taskRun, []taskRun) {
+	if cap(js.taskPtrs) < n {
+		js.taskPtrs = make([]*taskRun, n)
+	}
+	if cap(js.taskRuns) < n {
+		js.taskRuns = make([]taskRun, n)
+	}
+	return js.taskPtrs[:n], js.taskRuns[:n]
 }
 
 // demand approximates the job's slot demand by the incomplete task count of
@@ -204,6 +229,12 @@ type Simulator struct {
 
 	viewBuf  []spec.TaskView
 	copyPool []*copyRun
+	// jsPool recycles finished jobs' runtime state — the jobState itself,
+	// its incremental ViewSet arrays, dirty list and phase task blocks keep
+	// their capacity across jobs, so a long replay admits without
+	// reallocating per-job state (the PR-4 follow-up: the incremental path
+	// cost ~0.3 allocs/event in per-job slices).
+	jsPool []*jobState
 
 	// incMinTasks is the phase size at which launch attempts switch from
 	// the from-scratch buildViews walk to the incrementally maintained
@@ -256,6 +287,35 @@ func (s *Simulator) newCopy(js *jobState, t *taskRun) *copyRun {
 func (s *Simulator) freeCopy(c *copyRun) {
 	c.js, c.task, c.ev = nil, nil, nil
 	s.copyPool = append(s.copyPool, c)
+}
+
+// takeJobState pops a recycled jobState or mints one. The caller (admit)
+// overwrites every live field; pooled storage arrives reset by
+// freeJobState with capacity intact.
+func (s *Simulator) takeJobState() *jobState {
+	if n := len(s.jsPool); n > 0 {
+		js := s.jsPool[n-1]
+		s.jsPool[n-1] = nil
+		s.jsPool = s.jsPool[:n-1]
+		return js
+	}
+	js := &jobState{}
+	js.deadlineFn = func(*simevent.Engine) { s.onInputDeadline(js) }
+	return js
+}
+
+// freeJobState recycles a finished job's runtime state: references are
+// dropped and scalars zeroed, while the pooled storage — the incremental
+// ViewSet's arrays, the dirty list, the phase task blocks, the deadline
+// closure — keeps its capacity for the next admitted job.
+func (s *Simulator) freeJobState(js *jobState) {
+	jv := js.jv
+	jv.invalidate()
+	jv.onTNewRefresh = nil
+	taskPtrs, taskRuns := js.taskPtrs, js.taskRuns
+	deadlineFn := js.deadlineFn
+	*js = jobState{jv: jv, taskPtrs: taskPtrs, taskRuns: taskRuns, deadlineFn: deadlineFn}
+	s.jsPool = append(s.jsPool, js)
 }
 
 // insertDemand places a newly admitted job into the demand-ordered index.
@@ -419,22 +479,21 @@ func (s *Simulator) noteUtil() {
 // admit creates the job's runtime state, schedules its deadline, and tries
 // to give it slots.
 func (s *Simulator) admit(j *task.Job) {
-	js := &jobState{
-		job:    j,
-		policy: s.factory.NewPolicy(j.ID, j.NumTasks()),
-		res: JobResult{
-			JobID:          j.ID,
-			NumTasks:       j.NumTasks(),
-			Bin:            j.Bin(),
-			Kind:           j.Bound.Kind,
-			Deadline:       j.Bound.Deadline,
-			Epsilon:        j.Bound.Epsilon,
-			DeadlineFactor: j.DeadlineFactor,
-			DAGLength:      j.DAGLength(),
-		},
+	js := s.takeJobState()
+	js.job = j
+	js.policy = s.factory.NewPolicy(j.ID, j.NumTasks())
+	js.res = JobResult{
+		JobID:          j.ID,
+		NumTasks:       j.NumTasks(),
+		Bin:            j.Bin(),
+		Kind:           j.Bound.Kind,
+		Deadline:       j.Bound.Deadline,
+		Epsilon:        j.Bound.Epsilon,
+		DeadlineFactor: j.DeadlineFactor,
+		DAGLength:      j.DAGLength(),
 	}
 	js.inc, _ = js.policy.(spec.IncrementalPolicy)
-	js.phase = s.newInputPhase(j)
+	js.phase = s.newInputPhase(js, j)
 	s.active = append(s.active, js)
 	s.insertDemand(js)
 	if j.Bound.Kind == task.DeadlineBound {
@@ -443,19 +502,22 @@ func (s *Simulator) admit(j *task.Job) {
 			inputBudget = min
 		}
 		js.inputDeadlineAbs = j.Arrival + inputBudget
-		js.deadlineEv = s.eng.At(js.inputDeadlineAbs, func(*simevent.Engine) { s.onInputDeadline(js) })
+		js.deadlineEv = s.eng.At(js.inputDeadlineAbs, js.deadlineFn)
 	}
 	s.dispatch()
 }
 
-func (s *Simulator) newInputPhase(j *task.Job) *phaseRun {
-	tasks := make([]*taskRun, len(j.InputWork))
-	runs := make([]taskRun, len(j.InputWork)) // one block, not one alloc per task
+// newInputPhase builds the job's input phase in js's pooled storage (one
+// block of taskRuns, not one alloc per task — and on a recycled jobState,
+// no alloc at all).
+func (s *Simulator) newInputPhase(js *jobState, j *task.Job) *phaseRun {
+	tasks, runs := js.phaseStorage(len(j.InputWork))
 	for i, w := range j.InputWork {
 		runs[i] = taskRun{index: i, work: w}
 		tasks[i] = &runs[i]
 	}
-	return &phaseRun{tasks: tasks, target: j.Bound.TargetTasks(len(tasks))}
+	js.phaseBuf = phaseRun{tasks: tasks, target: j.Bound.TargetTasks(len(tasks))}
+	return &js.phaseBuf
 }
 
 // intermediateEstimate predicts the time the job's intermediate phases will
@@ -969,13 +1031,13 @@ func (s *Simulator) finishPhase(js *jobState) {
 	}
 	p := js.job.Phases[js.phaseIdx]
 	js.phaseIdx++
-	tasks := make([]*taskRun, p.NumTasks)
-	runs := make([]taskRun, p.NumTasks)
+	tasks, runs := js.phaseStorage(p.NumTasks)
 	for i := range tasks {
 		runs[i] = taskRun{index: i, work: p.WorkScale}
 		tasks[i] = &runs[i]
 	}
-	js.phase = &phaseRun{tasks: tasks, target: p.NumTasks}
+	js.phaseBuf = phaseRun{tasks: tasks, target: p.NumTasks}
+	js.phase = &js.phaseBuf
 	s.repositionDemand(js)
 }
 
@@ -1043,4 +1105,8 @@ func (s *Simulator) finishJob(js *jobState) {
 	s.active = keep
 	// Nothing reads js.job past this point: recycle it.
 	s.releaseJob(js)
+	// Nor the runtime state — recycle that too. Every copy is dead (freed
+	// to the copy pool), the deadline event is cancelled, and js left the
+	// active and demand indexes above.
+	s.freeJobState(js)
 }

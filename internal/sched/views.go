@@ -156,6 +156,28 @@ func (s *Simulator) refreshViews(js *jobState) *spec.ViewSet {
 	// estimate is unchanged. The uniform rescale preserves the
 	// (TNew, index) order up to float rounding, which ResortByTNew checks
 	// and repairs.
+	//
+	// Why this O(incomplete) patch loop stays, and the sub-O(n) "lazy
+	// multiplicative epoch" does not land: an epoch scheme would keep the
+	// stored keys and fold the median movement into one multiplier
+	// (read TNew as stored × med₂/med₁), making the rescale O(1). That is
+	// provably NOT hash-identical to this loop. The loop computes
+	// fl(fl(fl(med₂·w)·b)) while the epoch reads back
+	// fl(fl(fl(med₁·w)·b)·fl(med₂/med₁)) — different rounding paths, and
+	// ~45% of random (med₁, med₂, w, b) quadruples differ in the last ulp
+	// (TestLazyTNewRescaleIsInexact pins witnesses). The same holds for
+	// re-associating to an immutable per-task base, fl(med·fl(w·b)): ~35%
+	// of quadruples differ from the left-to-right product, so even
+	// changing the canonical formula would move every golden. And the
+	// ordered structure cannot simply skip the resort either: rounding
+	// flips the relative order of near-tied keys under a median move
+	// (that is exactly why ResortByTNew exists), so a structure that is
+	// not revalidated after a rescale eventually violates the (TNew,
+	// index) invariant orderPos panics on. The loop is also already off
+	// the critical asymptotics: it runs at most once per completion (not
+	// per attempt), only when the normalized median actually moved, and
+	// its body is a two-multiply array patch — the tnewRescales counter in
+	// BENCH_sim.json tracks exactly this cost.
 	if !s.cfg.Oracle {
 		if ver := s.est.Version(); ver != jv.estVer {
 			if med := s.est.NormalizedMedian(); med != jv.median {

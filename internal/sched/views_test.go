@@ -3,6 +3,7 @@ package sched
 import (
 	"testing"
 
+	"github.com/approx-analytics/grass/internal/dist"
 	"github.com/approx-analytics/grass/internal/spec"
 	"github.com/approx-analytics/grass/internal/task"
 )
@@ -105,4 +106,52 @@ func TestEstimatorBumpDirtiesExactly(t *testing.T) {
 			t.Fatalf("incomplete task %d (estimate changed) was not re-derived", i)
 		}
 	}
+}
+
+// TestLazyTNewRescaleIsInexact pins the reason the estimator-median patch
+// loop in refreshViews stays O(incomplete) instead of becoming a lazy
+// multiplicative epoch (the ROADMAP's "sub-O(n) exact TNew rescale if a
+// provably exact scheme exists"): neither candidate scheme reproduces the
+// patched values bit for bit, so neither can be hash-identical. The test
+// hunts a deterministic sample space for witnesses of all three failure
+// modes and requires each to appear — if float semantics somehow made
+// these schemes exact, this test failing would be the signal to revisit.
+func TestLazyTNewRescaleIsInexact(t *testing.T) {
+	rng := dist.NewRNG(99)
+	epochMiss, reassocMiss, orderFlips := 0, 0, 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		m1 := 0.5 + rng.Float64()*2          // median before the move
+		m2 := m1 * (0.9 + rng.Float64()*0.2) // median after
+		w := 0.1 + rng.Float64()*10          // task work (immutable)
+		b := 0.5 + rng.Float64()             // tnew bias (immutable)
+		patched := m2 * w * b                // the patch loop's left-to-right product
+		if (m1*w*b)*(m2/m1) != patched {
+			epochMiss++ // lazy epoch multiplier on the stored key
+		}
+		if m2*(w*b) != patched {
+			reassocMiss++ // immutable per-task base, median applied on read
+		}
+		// Near-tied neighbor keys: a uniform positive rescale is monotone
+		// per key but rounding can flip the ORDER of two keys, which is
+		// why ResortByTNew revalidates after every bulk rescale.
+		w2 := w * (1 + (rng.Float64()-0.5)*1e-15)
+		b2 := b * (1 + (rng.Float64()-0.5)*1e-15)
+		a1, c1 := m1*w*b, m1*w2*b2
+		a2, c2 := m2*w*b, m2*w2*b2
+		if a1 != c1 && a2 != c2 && (a1 < c1) != (a2 < c2) {
+			orderFlips++
+		}
+	}
+	if epochMiss == 0 {
+		t.Error("epoch-multiplied keys matched the patch loop everywhere — lazy epoch may be exact after all; revisit views.go")
+	}
+	if reassocMiss == 0 {
+		t.Error("re-associated keys matched the patch loop everywhere — factored base may be exact after all; revisit views.go")
+	}
+	if orderFlips == 0 {
+		t.Error("no order flips among near-tied keys — the ResortByTNew rationale may be stale")
+	}
+	t.Logf("witnesses in %d trials: epoch %d, reassociation %d, order flips %d",
+		trials, epochMiss, reassocMiss, orderFlips)
 }

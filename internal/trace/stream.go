@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"fmt"
+
 	"github.com/approx-analytics/grass/internal/dist"
 	"github.com/approx-analytics/grass/internal/task"
 )
@@ -32,6 +34,14 @@ type Stream struct {
 	now  float64 // next job's arrival time
 
 	pool []*task.Job // released jobs awaiting reuse
+
+	// shard/shards restrict emission to one residue class of job IDs
+	// (NewShardStream). Non-owned jobs are still generated — into scratch,
+	// reused across skips — so the RNG streams stay at exactly the
+	// positions of the unsharded generator and every shard's jobs are
+	// byte-identical to the corresponding jobs of the full trace.
+	shard, shards int
+	scratch       *task.Job
 }
 
 // NewStream validates cfg and positions a stream at the first job.
@@ -50,17 +60,53 @@ func NewStream(cfg Config) (*Stream, error) {
 	}, nil
 }
 
+// NewShardStream returns a stream emitting partition shard's jobs of cfg's
+// trace: the jobs whose ID ≡ shard (mod shards), in arrival order. The
+// emitted jobs are byte-identical to the same-ID jobs of the full trace —
+// the deterministic partitioner of a sharded simulation (sched.RunSharded):
+// the union of the shards' streams is exactly NewStream's sequence, and
+// every job belongs to exactly one shard.
+//
+// Skipped jobs still consume their RNG draws (generated into a reused
+// scratch job), so a shard stream costs the full trace's generation work;
+// that cost is small next to simulating the shard's jobs, and buys shards
+// that share no state at all — each can run on its own goroutine.
+// shards == 1 is NewStream exactly.
+func NewShardStream(cfg Config, shard, shards int) (*Stream, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("trace: %d shards", shards)
+	}
+	if shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("trace: shard %d out of [0, %d)", shard, shards)
+	}
+	s, err := NewStream(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.shard, s.shards = shard, shards
+	return s, nil
+}
+
 // Next returns the next job in arrival order, or (nil, false) once cfg.Jobs
 // jobs have been emitted. The returned job is owned by the caller until it
 // is passed to Release (releasing is optional — an unreleased job is plain
 // garbage-collected memory).
 func (s *Stream) Next() (*task.Job, bool) {
-	if s.next >= s.cfg.Jobs {
-		return nil, false
+	for s.next < s.cfg.Jobs {
+		if s.shards > 1 && s.next%s.shards != s.shard {
+			// Not this shard's job: draw it into scratch to keep the RNG
+			// streams in lockstep with the unsharded generator.
+			if s.scratch == nil {
+				s.scratch = &task.Job{}
+			}
+			s.fill(s.scratch)
+			continue
+		}
+		j := s.take()
+		s.fill(j)
+		return j, true
 	}
-	j := s.take()
-	s.fill(j)
-	return j, true
+	return nil, false
 }
 
 // Release returns a job to the stream's pool so a later Next can reuse its
@@ -73,8 +119,21 @@ func (s *Stream) Release(j *task.Job) {
 	s.pool = append(s.pool, j)
 }
 
-// Remaining reports how many jobs the stream will still emit.
-func (s *Stream) Remaining() int { return s.cfg.Jobs - s.next }
+// Remaining reports how many jobs the stream will still emit — for a shard
+// stream, only the jobs of its own residue class.
+func (s *Stream) Remaining() int {
+	if s.shards <= 1 {
+		return s.cfg.Jobs - s.next
+	}
+	// Owned IDs below x: those of the form shard + k·shards with k ≥ 0.
+	below := func(x int) int {
+		if x <= s.shard {
+			return 0
+		}
+		return (x - s.shard + s.shards - 1) / s.shards
+	}
+	return below(s.cfg.Jobs) - below(s.next)
+}
 
 // take pops a pooled job or mints a fresh one.
 func (s *Stream) take() *task.Job {

@@ -1,19 +1,34 @@
 #!/usr/bin/env bash
 # Perf-regression wall: fails when the simulator's per-event allocation
-# budget regresses. Allocation counts are deterministic (unlike ns/op, which
-# depends on the machine), so CI can gate on them exactly:
+# budget regresses, and sanity-checks the sharded execution path.
+# Allocation counts are deterministic (unlike ns/op, which depends on the
+# machine), so CI can gate on them exactly:
 #
 #   - BenchmarkDispatch must stay at 0 allocs/op: the dispatch round has
 #     been allocation-free since PR 2.
-#   - BenchmarkSimulatorQuick's allocs/event must stay below the PR-4
-#     BENCH_sim.json figures plus a small headroom: the plain variants
-#     (small-job workload on the rebuild walk) measured gs 1.637,
-#     ras 1.292, late 1.193, gs-stream 1.618, and the -inc variants
-#     (incremental candidate views forced for every phase) gs-inc 1.976,
-#     ras-inc 1.630, late-inc 1.465. The walls sit ~5% above so an
-#     accidental revert of the PR-2 dispatch, PR-3 pooling or PR-4 view
-#     optimizations fails CI while normal jitter does not. Tighten the
+#   - BenchmarkSimulatorQuick's allocs/event must stay below the PR-5
+#     BENCH_sim.json figures plus a small headroom. PR 5 pooled jobState/
+#     ViewSet storage across jobs, which cut the plain variants to
+#     gs 1.603, ras 1.258, late 1.160, gs-stream 1.584 and the -inc
+#     variants (incremental candidate views forced for every phase) to
+#     gs-inc 1.651, ras-inc 1.301, late-inc 1.193 — the PR-4 follow-up
+#     (~0.3 allocs/event of per-job slices) is gone. The walls sit ~5%
+#     above so an accidental revert of the PR-2 dispatch, PR-3 pooling,
+#     PR-4 views or PR-5 jobState recycling fails CI while normal jitter
+#     does not. These same ceilings are the "per-event ceiling at K=1"
+#     gate for the sharded engine: one partition IS the plain engine, so
+#     the plain walls hold for sharded K=1 by construction. Tighten the
 #     thresholds when BENCH_sim.json advances.
+#   - BenchmarkShardedReplay's "balance" metric (Σ partition walls / max
+#     partition wall at 4 partitions) must stay ≥ 2.5: it is the
+#     machine-independent ceiling on what 4 shard workers can gain, so a
+#     partitioner change that skews load (and silently caps -shards
+#     speedup below the acceptance floor) fails here even on a single-core
+#     runner. Unlike the alloc gates this one is timing-derived, so the
+#     wall takes the BEST balance across the three workers= variants
+#     (identical model and work per variant — a transient runner stall
+#     would have to hit all three independent runs to fake a skew);
+#     round-robin partitioning keeps every sample at ~3.6-4.0.
 #
 # Usage: scripts/perfwall.sh   (from anywhere inside the repo)
 set -euo pipefail
@@ -61,17 +76,37 @@ check() { # check <sub-benchmark> <wall>
 		echo "perf wall: $sub $v allocs/event <= $wall ok"
 	fi
 }
-check gs 1.72
-check ras 1.36
-check late 1.26
+check gs 1.69
+check ras 1.33
+check late 1.22
 # The streaming admission path (same workload via RunSource) must not
-# regress either; it shares gs's ceiling.
-check gs-stream 1.72
+# regress either; it shares gs's headroom.
+check gs-stream 1.67
 # The incremental-views path forced onto every phase (its small-job worst
-# case): the per-job ViewSet slices cost ~0.3 allocs/event over the
-# rebuild walk, and the wall keeps that overhead from creeping.
-check gs-inc 2.08
-check ras-inc 1.72
-check late-inc 1.54
+# case): PR 5's jobState/ViewSet pooling removed the ~0.3 allocs/event of
+# per-job slices, and these walls keep it removed.
+check gs-inc 1.74
+check ras-inc 1.37
+check late-inc 1.26
+
+# Sharded execution: partition balance at 4 partitions. All three
+# workers= variants compute the identical model, so their balance samples
+# are three independent measurements of the same structural quantity —
+# gate on the best one so a single stalled run cannot fail the wall.
+sharded=$(go test ./internal/sched -run '^$' \
+	-bench 'BenchmarkShardedReplay' -benchtime 1x)
+echo "$sharded"
+bal=$(echo "$sharded" | awk '/^BenchmarkShardedReplay\// {
+	for (i = 1; i <= NF; i++) if ($i == "balance") print $(i-1) }' |
+	sort -g | tail -1)
+if [ -z "$bal" ]; then
+	echo "PERF WALL: no balance metric from BenchmarkShardedReplay" >&2
+	fail=1
+elif awk -v v="$bal" 'BEGIN { exit !(v < 2.5) }'; then
+	echo "PERF WALL: best shard balance $bal below 2.5 at 4 partitions — partitioning is skewed" >&2
+	fail=1
+else
+	echo "perf wall: best shard balance $bal >= 2.5 ok"
+fi
 
 exit $fail
