@@ -106,9 +106,25 @@ func run() int {
 		}()
 	}
 
+	if *jobs < 0 {
+		fmt.Fprintf(os.Stderr, "grass-bench: -jobs %d: a replay needs a positive job count\n", *jobs)
+		return 1
+	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "grass-bench: -shards %d: need at least one worker goroutine\n", *shards)
+		return 1
+	}
+	if *parts < 0 {
+		fmt.Fprintf(os.Stderr, "grass-bench: -partitions %d: want >= 1, or 0 to follow -shards\n", *parts)
+		return 1
+	}
 	if *jobs > 0 {
 		if *fig != "" || *full {
 			fmt.Fprintln(os.Stderr, "grass-bench: -jobs (streaming replay) cannot be combined with -fig or -full")
+			return 1
+		}
+		if *parts > 0 && *jobs < *parts {
+			fmt.Fprintf(os.Stderr, "grass-bench: -jobs %d is fewer than -partitions %d: every partition needs at least one job\n", *jobs, *parts)
 			return 1
 		}
 		return runReplay(*jobs, *policy, *workload, *bound, *seed, *shards, *parts)

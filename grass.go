@@ -27,6 +27,7 @@
 package grass
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/approx-analytics/grass/internal/cluster"
@@ -34,6 +35,7 @@ import (
 	"github.com/approx-analytics/grass/internal/exp"
 	"github.com/approx-analytics/grass/internal/metrics"
 	"github.com/approx-analytics/grass/internal/sched"
+	"github.com/approx-analytics/grass/internal/serve"
 	"github.com/approx-analytics/grass/internal/spec"
 	"github.com/approx-analytics/grass/internal/task"
 	"github.com/approx-analytics/grass/internal/trace"
@@ -154,36 +156,18 @@ func StreamTrace(cfg TraceConfig) (*TraceStream, error) {
 	return trace.NewStream(cfg)
 }
 
-// SimulateStream runs a streamed trace through the cluster simulator under
-// the named policy. Results are identical to materializing the same trace
-// and calling Simulate; memory differs — the simulator holds only in-flight
-// jobs (finished jobs are recycled when src implements sched.Releaser, as
-// TraceStream does). RunStats.Results still accumulates one entry per job;
-// use SimulateStreamFold when even that is too large.
-func SimulateStream(cfg SimConfig, policy string, src JobSource) (*RunStats, error) {
-	return simulateSource(cfg, policy, src, nil)
-}
-
-// SimulateStreamFold is the bounded-memory variant of SimulateStream: each
-// job's result is passed to fold as the job finishes (in completion order)
-// instead of accumulating in RunStats.Results, so nothing retained grows
-// with the trace length.
-func SimulateStreamFold(cfg SimConfig, policy string, src JobSource, fold func(JobResult)) (*RunStats, error) {
-	if fold == nil {
-		return nil, fmt.Errorf("grass: nil fold func")
-	}
-	return simulateSource(cfg, policy, src, fold)
-}
-
-// SimOption configures SimulateTrace — the options-pattern entry point
-// for simulations that want more than the positional defaults (sharded
-// execution, streamed result folding).
+// SimOption configures the options-pattern entry points — SimulateTrace,
+// SimulateJobs, SimulateSource and Serve — for simulations that want more
+// than the positional defaults (sharded execution, streamed result
+// folding, cancellation, a custom policy factory).
 type SimOption func(*simOptions)
 
 type simOptions struct {
 	shards     int
 	partitions int
 	fold       func(JobResult)
+	ctx        context.Context
+	factory    PolicyFactory
 }
 
 // WithShards sets the number of worker goroutines executing the
@@ -206,10 +190,28 @@ func WithShards(k int) SimOption { return func(o *simOptions) { o.shards = k } }
 // equal partition counts.
 func WithPartitions(p int) SimOption { return func(o *simOptions) { o.partitions = p } }
 
-// WithFold streams each job's result to fn in ascending JobID order
-// instead of accumulating RunStats.Results, so nothing retained grows
-// with the trace length — the sharded counterpart of SimulateStreamFold.
+// WithFold streams each job's result to fn instead of accumulating
+// RunStats.Results, so nothing retained grows with the trace length. Under
+// SimulateTrace the results arrive in ascending JobID order (the canonical
+// sharded merge); under SimulateJobs/SimulateSource they arrive in
+// completion order, exactly as the simulator finishes them.
 func WithFold(fn func(JobResult)) SimOption { return func(o *simOptions) { o.fold = fn } }
+
+// WithContext makes the simulation cancellable: once ctx is done the run
+// stops promptly — the event loop checks between event batches, sharded
+// workers stop claiming partitions — and the entry point returns ctx.Err().
+// A cancelled run's partial work is discarded (an installed WithFold fn may
+// have observed a prefix of the results); the engine's pooled state is
+// abandoned consistently, so building a fresh simulation afterwards is
+// always safe. A nil ctx (the default) disables checking.
+func WithContext(ctx context.Context) SimOption { return func(o *simOptions) { o.ctx = ctx } }
+
+// WithFactory runs the simulation under a custom policy factory instead of
+// a named policy; the policy-name argument is ignored (pass ""). Oracle
+// mode is NOT inferred — set SimConfig.Oracle yourself if the factory
+// needs ground-truth views. Not supported by SimulateTrace, whose
+// partitioned model must re-derive per-partition factories from seeds.
+func WithFactory(f PolicyFactory) SimOption { return func(o *simOptions) { o.factory = f } }
 
 // SimulateTrace generates cfg's synthetic workload lazily and simulates
 // it under the named policy — the sharding-capable, options-pattern entry
@@ -222,6 +224,9 @@ func SimulateTrace(sc SimConfig, tc TraceConfig, policy string, opts ...SimOptio
 	var o simOptions
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.factory != nil {
+		return nil, fmt.Errorf("grass: WithFactory is not supported by SimulateTrace (partitions need seed-derived factories); use SimulateJobs or SimulateSource")
 	}
 	if o.shards <= 0 {
 		o.shards = 1
@@ -253,50 +258,183 @@ func SimulateTrace(sc SimConfig, tc TraceConfig, policy string, opts ...SimOptio
 		run.OnResult = o.fold
 		run.Jobs = tc.Jobs
 	}
+	run.Ctx = o.ctx
 	return sched.RunSharded(run)
 }
 
-func simulateSource(cfg SimConfig, policy string, src JobSource, fold func(JobResult)) (*RunStats, error) {
-	sim, err := newSimulator(cfg, policy)
+// SimulateJobs runs a materialized trace through the cluster simulator
+// under the named policy — the options-pattern successor of Simulate and
+// SimulateWith. Oracle mode is enabled automatically for the "oracle"
+// policy (unless WithFactory overrides the policy). Supports WithFold,
+// WithContext and WithFactory; sharded execution (WithShards /
+// WithPartitions) requires SimulateTrace, whose partitioner splits the
+// trace by construction.
+func SimulateJobs(cfg SimConfig, policy string, jobs []*Job, opts ...SimOption) (*RunStats, error) {
+	o, err := collectUnshardedOptions("SimulateJobs", opts)
 	if err != nil {
 		return nil, err
 	}
-	if fold != nil {
-		sim.OnResult(fold)
-	}
-	return sim.RunSource(src)
+	return runSim(cfg, policy, jobs, nil, o)
 }
 
-// newSimulator resolves the policy name (enabling oracle mode when the
-// policy needs ground truth) and builds the simulator — the single wiring
-// point shared by Simulate and the streaming entry points, so the
-// materialized and streamed paths cannot drift.
-func newSimulator(cfg SimConfig, policy string) (*sched.Simulator, error) {
-	factory, oracleMode, err := exp.NewFactory(policy, cfg.Seed)
+// SimulateSource runs a streamed trace through the cluster simulator under
+// the named policy — the options-pattern successor of SimulateStream and
+// SimulateStreamFold. Results are identical to materializing the same
+// trace and calling SimulateJobs; memory differs — the simulator holds
+// only in-flight jobs (finished jobs are recycled when src implements
+// sched.Releaser, as TraceStream does). Accepts the same options as
+// SimulateJobs.
+func SimulateSource(cfg SimConfig, policy string, src JobSource, opts ...SimOption) (*RunStats, error) {
+	o, err := collectUnshardedOptions("SimulateSource", opts)
 	if err != nil {
 		return nil, err
 	}
-	cfg.Oracle = oracleMode
-	return sched.New(cfg, factory)
+	return runSim(cfg, policy, nil, src, o)
 }
 
-// Simulate runs jobs through the cluster simulator under the named policy.
-// Oracle mode is enabled automatically for the "oracle" policy.
-func Simulate(cfg SimConfig, policy string, jobs []*Job) (*RunStats, error) {
-	sim, err := newSimulator(cfg, policy)
-	if err != nil {
-		return nil, err
+// collectUnshardedOptions folds opts and rejects the sharded-execution
+// options the single-engine entry points cannot honor — silently running
+// an 8-partition request on one partition would change the model the
+// caller asked for.
+func collectUnshardedOptions(entry string, opts []SimOption) (simOptions, error) {
+	var o simOptions
+	for _, opt := range opts {
+		opt(&o)
 	}
-	return sim.Run(jobs)
+	if o.shards > 1 || o.partitions > 1 {
+		return o, fmt.Errorf("grass: %s runs one plain engine; sharded execution (WithShards/WithPartitions) requires SimulateTrace", entry)
+	}
+	return o, nil
 }
 
-// SimulateWith runs jobs under a custom policy factory.
-func SimulateWith(cfg SimConfig, factory PolicyFactory, jobs []*Job) (*RunStats, error) {
+// runSim is the single execution core behind every non-partitioned entry
+// point — Simulate, SimulateWith, SimulateStream, SimulateStreamFold,
+// SimulateJobs and SimulateSource all land here, so the materialized and
+// streamed paths cannot drift. Exactly one of jobs and src must be set.
+// With o.factory nil the policy name is resolved (enabling oracle mode
+// when the policy needs ground truth); otherwise the factory is used as
+// given.
+func runSim(cfg SimConfig, policy string, jobs []*Job, src JobSource, o simOptions) (*RunStats, error) {
+	factory := o.factory
+	if factory == nil {
+		f, oracleMode, err := exp.NewFactory(policy, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		factory = f
+		cfg.Oracle = oracleMode
+	}
 	sim, err := sched.New(cfg, factory)
 	if err != nil {
 		return nil, err
 	}
+	if o.ctx != nil {
+		sim.SetContext(o.ctx)
+	}
+	if o.fold != nil {
+		sim.OnResult(o.fold)
+	}
+	if src != nil {
+		return sim.RunSource(src)
+	}
 	return sim.Run(jobs)
+}
+
+// Simulate runs jobs through the cluster simulator under the named policy.
+// Oracle mode is enabled automatically for the "oracle" policy.
+//
+// Deprecated: use SimulateJobs, which takes options (WithFold,
+// WithContext, WithFactory). Results are byte-identical.
+func Simulate(cfg SimConfig, policy string, jobs []*Job) (*RunStats, error) {
+	return SimulateJobs(cfg, policy, jobs)
+}
+
+// SimulateWith runs jobs under a custom policy factory.
+//
+// Deprecated: use SimulateJobs with WithFactory. Results are
+// byte-identical.
+func SimulateWith(cfg SimConfig, factory PolicyFactory, jobs []*Job) (*RunStats, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("sched: nil policy factory")
+	}
+	return SimulateJobs(cfg, "", jobs, WithFactory(factory))
+}
+
+// SimulateStream runs a streamed trace through the cluster simulator under
+// the named policy.
+//
+// Deprecated: use SimulateSource, which takes options. Results are
+// byte-identical.
+func SimulateStream(cfg SimConfig, policy string, src JobSource) (*RunStats, error) {
+	return SimulateSource(cfg, policy, src)
+}
+
+// SimulateStreamFold is the bounded-memory variant of SimulateStream: each
+// job's result is passed to fold as the job finishes (in completion order)
+// instead of accumulating in RunStats.Results.
+//
+// Deprecated: use SimulateSource with WithFold. Results are byte-identical.
+func SimulateStreamFold(cfg SimConfig, policy string, src JobSource, fold func(JobResult)) (*RunStats, error) {
+	if fold == nil {
+		return nil, fmt.Errorf("grass: nil fold func")
+	}
+	return SimulateSource(cfg, policy, src, WithFold(fold))
+}
+
+// Service-mode types (see internal/serve for the full contract).
+type (
+	// ServeConfig parameterizes a live scheduler service.
+	ServeConfig = serve.Config
+	// Server is a running scheduler service: Submit jobs (or attach a
+	// ServeConfig.Source driver), Snapshot live telemetry, Close admission,
+	// Wait for the final SLO summary.
+	Server = serve.Server
+	// ServeSummary is a serve run's final report: job count, makespan,
+	// utilization, and p50/p95/p99/p999 job-latency quantiles.
+	ServeSummary = serve.Summary
+	// ServeSnapshot is the live telemetry read: queue depth, progress
+	// counters, utilization and running latency quantiles.
+	ServeSnapshot = serve.Snapshot
+	// Pace times a service's open-loop arrival driver.
+	Pace = serve.Pace
+	// PaceMode selects trace-timed or Poisson arrival timing.
+	PaceMode = serve.PaceMode
+)
+
+// Arrival pacing modes for ServeConfig.Pace.
+const (
+	// TraceTimed keeps each job's own arrival time — a trace-timed serve
+	// run is byte-identical to the offline replay of the same trace.
+	TraceTimed = serve.TraceTimed
+	// Poisson re-times jobs on an open-loop Poisson process of Pace.Rate
+	// jobs per virtual-time unit.
+	Poisson = serve.Poisson
+)
+
+// ErrServeClosed is returned by Server.Submit after admission closed.
+var ErrServeClosed = serve.ErrClosed
+
+// Serve starts a live scheduler service running the named policy: the
+// long-running counterpart of SimulateSource, accepting jobs through
+// Server.Submit (or an attached cfg.Source open-loop driver) and reporting
+// p50/p95/p99/p999 job latency, queue depth and slot utilization while it
+// runs. Virtual-time results are deterministic — a trace-timed serve run
+// of a trace is byte-identical to replaying it — and cfg.Ctx cancels the
+// whole service. If cfg.NewFactory is already set, the policy name is
+// ignored (set cfg.Sim.Oracle yourself in that case).
+func Serve(cfg ServeConfig, policy string) (*Server, error) {
+	if cfg.NewFactory == nil {
+		_, oracleMode, err := exp.NewFactory(policy, cfg.Sim.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Sim.Oracle = oracleMode
+		cfg.NewFactory = func(seed int64) (PolicyFactory, error) {
+			f, _, err := exp.NewFactory(policy, seed)
+			return f, err
+		}
+	}
+	return serve.New(cfg)
 }
 
 // MeanAccuracy averages job accuracies (the deadline-bound metric).

@@ -193,6 +193,12 @@ func Replay(cfg ReplayConfig) (*ReplayStats, error) {
 	if cfg.Jobs <= 0 {
 		return nil, fmt.Errorf("exp: replay of %d jobs", cfg.Jobs)
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("exp: %d shards (want >= 1, or 0 for the default single worker)", cfg.Shards)
+	}
+	if cfg.Partitions < 0 {
+		return nil, fmt.Errorf("exp: %d partitions (want >= 1, or 0 to follow Shards)", cfg.Partitions)
+	}
 	def := DefaultReplayConfig(cfg.Jobs)
 	if cfg.Policy == "" {
 		cfg.Policy = def.Policy

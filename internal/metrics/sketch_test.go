@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/approx-analytics/grass/internal/dist"
+)
+
+// sketchTestValues draws a heavy-tailed latency-shaped sample — the
+// distribution the sketch is built to summarize.
+func sketchTestValues(n int, seed int64) []float64 {
+	rng := dist.NewRNG(seed)
+	ln := dist.Lognormal{Mu: 3, Sigma: 1.2}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = ln.Sample(rng)
+	}
+	return vals
+}
+
+// exactQuantile computes the ⌈q·n⌉-th smallest value — the definition the
+// sketch approximates.
+func exactQuantile(sorted []float64, q float64) float64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// TestSketchRelativeError: every reported quantile is within the promised
+// relative error of the exact quantile, across the SLO quantile set.
+func TestSketchRelativeError(t *testing.T) {
+	vals := sketchTestValues(50_000, 7)
+	s := NewSketch(0.01)
+	for _, v := range vals {
+		s.Observe(v)
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0.5, 0.95, 0.99, 0.999} {
+		got := s.Quantile(q)
+		want := exactQuantile(sorted, q)
+		if rel := math.Abs(got-want) / want; rel > 0.011 {
+			t.Errorf("q=%g: sketch %v vs exact %v (relative error %.4f > alpha)", q, got, want, rel)
+		}
+	}
+	if s.Min() != sorted[0] || s.Max() != sorted[len(sorted)-1] {
+		t.Errorf("extremes inexact: min %v/%v max %v/%v", s.Min(), sorted[0], s.Max(), sorted[len(sorted)-1])
+	}
+	if s.Count() != uint64(len(vals)) {
+		t.Errorf("count %d, want %d", s.Count(), len(vals))
+	}
+}
+
+// TestSketchMergeExact is the partition-determinism guarantee: a sketch
+// merged from P per-partition sketches reports EXACTLY the quantiles of one
+// sketch fed every observation, for any partitioning and any merge
+// grouping — bucket counts are integers, so merging is loss-free addition.
+func TestSketchMergeExact(t *testing.T) {
+	vals := sketchTestValues(20_000, 3)
+	whole := NewSketch(0.01)
+	for _, v := range vals {
+		whole.Observe(v)
+	}
+	qs := []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1}
+	for _, parts := range []int{1, 2, 3, 8} {
+		shards := make([]*Sketch, parts)
+		for p := range shards {
+			shards[p] = NewSketch(0.01)
+		}
+		// Round-robin partitioning, the serving layer's ID mod P shape.
+		for i, v := range vals {
+			shards[i%parts].Observe(v)
+		}
+		merged := NewSketch(0.01)
+		for _, sh := range shards {
+			merged.Merge(sh)
+		}
+		for _, q := range qs {
+			if got, want := merged.Quantile(q), whole.Quantile(q); got != want {
+				t.Errorf("parts=%d q=%g: merged %v != whole %v", parts, q, got, want)
+			}
+		}
+		if merged.Count() != whole.Count() {
+			t.Errorf("parts=%d: count drifted: %d vs %d", parts, merged.Count(), whole.Count())
+		}
+		// Sum is float addition: exact per merge order, but regrouping the
+		// observations across partitions may move the last ulps.
+		if rel := math.Abs(merged.Sum()-whole.Sum()) / whole.Sum(); rel > 1e-12 {
+			t.Errorf("parts=%d: sum drifted beyond ulps: %v vs %v", parts, merged.Sum(), whole.Sum())
+		}
+	}
+}
+
+// TestSketchMergeOrderInvariant: merging the same shards in reversed order
+// yields identical quantiles (addition commutes) — canonical order at the
+// serving layer is a convention, not a correctness requirement.
+func TestSketchMergeOrderInvariant(t *testing.T) {
+	vals := sketchTestValues(5_000, 5)
+	a0, a1, a2 := NewSketch(0.02), NewSketch(0.02), NewSketch(0.02)
+	for i, v := range vals {
+		[]*Sketch{a0, a1, a2}[i%3].Observe(v)
+	}
+	fwd, rev := NewSketch(0.02), NewSketch(0.02)
+	for _, sh := range []*Sketch{a0, a1, a2} {
+		fwd.Merge(sh)
+	}
+	for _, sh := range []*Sketch{a2, a1, a0} {
+		rev.Merge(sh)
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if fwd.Quantile(q) != rev.Quantile(q) {
+			t.Errorf("q=%g: merge order changed the quantile: %v vs %v", q, fwd.Quantile(q), rev.Quantile(q))
+		}
+	}
+}
+
+// TestSketchEdgeCases: empty sketches, zero/negative observations, clamped
+// quantiles, clone independence and the alpha-mismatch panic.
+func TestSketchEdgeCases(t *testing.T) {
+	s := NewSketch(0)
+	if s.Alpha() != DefaultSketchAlpha {
+		t.Errorf("alpha %v, want default %v", s.Alpha(), DefaultSketchAlpha)
+	}
+	if s.Quantile(0.99) != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty sketch must report zeros")
+	}
+	s.Observe(0)
+	s.Observe(-3)
+	s.Observe(10)
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("median of {-3, 0, 10} reported %v, want the zero bucket", got)
+	}
+	if got := s.Quantile(2); got != 10 {
+		t.Errorf("q>1 must clamp to max, got %v", got)
+	}
+	if got := s.Quantile(-1); got != -3 {
+		t.Errorf("q<0 must clamp to min, got %v", got)
+	}
+
+	c := s.Clone()
+	c.Observe(1000)
+	if s.Count() != 3 || c.Count() != 4 {
+		t.Errorf("clone not independent: %d / %d", s.Count(), c.Count())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("merging sketches with different alpha must panic")
+		}
+	}()
+	s.Merge(NewSketch(0.1))
+}
+
+// TestSketchMergeEmptyAndNil: merging nil or empty sketches never perturbs
+// state — the serving layer merges partitions that may not have finished a
+// single job yet.
+func TestSketchMergeEmptyAndNil(t *testing.T) {
+	s := NewSketch(0.01)
+	s.Observe(5)
+	s.Merge(nil)
+	s.Merge(NewSketch(0.01))
+	if s.Count() != 1 || s.Quantile(0.5) == 0 {
+		t.Errorf("no-op merges perturbed the sketch: count %d", s.Count())
+	}
+	// An empty target adopts the source's extremes wholesale.
+	e := NewSketch(0.01)
+	e.Merge(s)
+	if e.Min() != 5 || e.Max() != 5 || e.Count() != 1 {
+		t.Errorf("empty-target merge: min %v max %v count %d", e.Min(), e.Max(), e.Count())
+	}
+}

@@ -28,6 +28,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -115,6 +116,12 @@ type ShardedRun struct {
 	// never contend). Σ walls / max walls is the parallel-scaling bound
 	// the shard-scaling benchmarks report.
 	Walls []time.Duration
+	// Ctx, when non-nil, cancels the run: every partition's event loop
+	// checks it periodically (Simulator.SetContext) and workers stop
+	// claiming new partitions once it is done. RunSharded then returns
+	// ctx.Err(). An installed OnResult fold may have observed a prefix of
+	// the canonical result stream before the cancel surfaced.
+	Ctx context.Context
 }
 
 // RunSharded executes a partitioned simulation and merges the partition
@@ -178,6 +185,17 @@ func RunSharded(r ShardedRun) (*RunStats, error) {
 				if p >= r.Parts {
 					return
 				}
+				if r.Ctx != nil && r.Ctx.Err() != nil {
+					// Cancelled: don't start the partition, but still end
+					// its result stream — merge.run waits for every
+					// partition to finish, and a skipped finish would
+					// deadlock the <-mergeDone below.
+					errs[p] = r.Ctx.Err()
+					if merge != nil {
+						merge.finish()
+					}
+					continue
+				}
 				t0 := time.Now()
 				stats[p], errs[p] = r.runPart(p, merge)
 				if r.Walls != nil && p < len(r.Walls) {
@@ -220,6 +238,9 @@ func (r ShardedRun) runPlain() (*RunStats, error) {
 	sim, err := New(r.Config, factory)
 	if err != nil {
 		return nil, err
+	}
+	if r.Ctx != nil {
+		sim.SetContext(r.Ctx)
 	}
 	var pending map[int]JobResult
 	nextID := 0
@@ -268,6 +289,9 @@ func (r ShardedRun) runPart(p int, merge *shardMerge) (*RunStats, error) {
 	sim, err := New(ShardConfig(r.Config, p, r.Parts), factory)
 	if err != nil {
 		return nil, err
+	}
+	if r.Ctx != nil {
+		sim.SetContext(r.Ctx)
 	}
 	if merge != nil {
 		sim.OnResult(merge.push)

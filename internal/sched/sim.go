@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -224,6 +225,10 @@ type Simulator struct {
 	// s.results accumulating them.
 	onResult func(JobResult)
 
+	// ctx, when set, cancels the run: the event loop checks it every
+	// ctxCheckEvery events and Run/RunSource return ctx.Err().
+	ctx context.Context
+
 	utilIntegral float64
 	lastUtilT    float64
 
@@ -435,6 +440,29 @@ func (s *Simulator) Run(jobs []*task.Job) (*RunStats, error) {
 	return s.finishRun()
 }
 
+// ctxCheckEvery is how many events fire between context checks. Large
+// enough that the check (one atomic load inside ctx.Err) vanishes next to
+// the per-event work, small enough that cancellation lands within
+// microseconds of wall clock on any realistic event rate.
+const ctxCheckEvery = 4096
+
+// SetContext installs a cancellation context: Run and RunSource return
+// ctx.Err() promptly once ctx is done, checked every ctxCheckEvery events.
+// A cancelled simulator's internal pools and the partially simulated state
+// are abandoned in a consistent state (the loop only stops between events),
+// but the simulator itself must not be reused — build a fresh one. Must be
+// called before Run/RunSource. A nil ctx (the default) disables checking.
+func (s *Simulator) SetContext(ctx context.Context) { s.ctx = ctx }
+
+// Utilization reports the cluster's instantaneous slot utilization — a
+// telemetry gauge for live serving. Only safe from the simulator's own
+// goroutine (e.g. inside an OnResult handler).
+func (s *Simulator) Utilization() float64 { return s.cl.Utilization() }
+
+// VirtualNow reports the simulation clock — same access contract as
+// Utilization.
+func (s *Simulator) VirtualNow() float64 { return s.eng.Now() }
+
 // finishRun drains the event queue and assembles the run statistics — the
 // shared tail of Run and RunSource.
 func (s *Simulator) finishRun() (*RunStats, error) {
@@ -442,8 +470,20 @@ func (s *Simulator) finishRun() (*RunStats, error) {
 	if limit == 0 {
 		limit = 50_000_000
 	}
-	if _, err := s.eng.Run(limit); err != nil {
+	var check func() error
+	if s.ctx != nil {
+		check = s.ctx.Err
+	}
+	if _, err := s.eng.RunEvery(limit, ctxCheckEvery, check); err != nil {
 		return nil, err
+	}
+	// A cancel that lands in the final partial batch (or after the queue
+	// drained) still surfaces: once ctx is done the run NEVER reports
+	// success, so callers can rely on cancel ⇒ ctx.Err().
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	if s.srcErr != nil {
 		return nil, s.srcErr

@@ -40,6 +40,27 @@ func (s *Simulator) OnResult(fn func(JobResult)) { s.onResult = fn }
 // previous arrival fires. If src implements Releaser, finished jobs are
 // handed back for reuse. The results are identical to materializing the
 // same trace and calling Run.
+//
+// # Mid-stream error contract
+//
+// Validation happens lazily, as jobs are pulled. A job that fails
+// validation (or arrives out of order) stops admission: jobs already
+// admitted DRAIN TO COMPLETION, and only then does RunSource return the
+// error — with nil RunStats. Side effects that already happened are not
+// undone and callers must expect both:
+//
+//   - an installed OnResult handler has observed every job admitted before
+//     the failure (a strict prefix of the trace's job set, in completion
+//     order), and
+//   - a Releaser source has had every one of those jobs handed back,
+//     exactly once. The offending job itself is also released, exactly
+//     once, before the error records — it never entered the simulation,
+//     so handing its storage back cannot alias live state.
+//
+// A job that fails validation at the very first pull short-circuits: there
+// is nothing to drain, and the error returns immediately (the offending
+// job is still released). Either way the simulator must not be reused
+// after an error — build a fresh one; the source's pool remains valid.
 func (s *Simulator) RunSource(src Source) (*RunStats, error) {
 	if src == nil {
 		return nil, fmt.Errorf("sched: nil job source")
@@ -59,17 +80,28 @@ func (s *Simulator) RunSource(src Source) (*RunStats, error) {
 
 // scheduleNextArrival pulls one job and schedules its arrival. Validation
 // happens lazily, as jobs are pulled — a mid-stream error stops admission
-// and surfaces once running jobs drain.
+// and surfaces once running jobs drain. A job rejected here was never
+// admitted, so it is handed straight back to a recycling source: without
+// that release the pooled storage of every rejected job would leak for the
+// rest of the run (and the job would be the only one the source never got
+// back).
 func (s *Simulator) scheduleNextArrival() error {
 	j, ok := s.src.Next()
 	if !ok {
 		return nil
 	}
 	if err := j.Validate(); err != nil {
+		if s.rel != nil {
+			s.rel.Release(j)
+		}
 		return err
 	}
 	if j.Arrival < s.prevArrival {
-		return fmt.Errorf("sched: jobs not sorted by arrival (job %d at %v after %v)", j.ID, j.Arrival, s.prevArrival)
+		err := fmt.Errorf("sched: jobs not sorted by arrival (job %d at %v after %v)", j.ID, j.Arrival, s.prevArrival)
+		if s.rel != nil {
+			s.rel.Release(j)
+		}
+		return err
 	}
 	s.prevArrival = j.Arrival
 	s.pendingJob = j

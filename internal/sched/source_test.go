@@ -257,3 +257,117 @@ func TestRunSourceRejectsInvalidJob(t *testing.T) {
 		t.Fatal("nil source accepted")
 	}
 }
+
+// trackingSource yields a fixed job list and records pool traffic per job
+// ID, so double-releases and leaks on the error path are both visible.
+type trackingSource struct {
+	jobs     []*task.Job
+	pulled   int
+	released map[int]int
+}
+
+func (s *trackingSource) Next() (*task.Job, bool) {
+	if s.pulled >= len(s.jobs) {
+		return nil, false
+	}
+	j := s.jobs[s.pulled]
+	s.pulled++
+	return j, true
+}
+
+func (s *trackingSource) Release(j *task.Job) {
+	if s.released == nil {
+		s.released = map[int]int{}
+	}
+	s.released[j.ID]++
+}
+
+// TestRunSourceMidStreamErrorContract is the regression test for the
+// documented srcErr drain contract: when job k fails validation mid-stream,
+// (a) the error surfaces with nil stats, (b) an installed OnResult handler
+// has observed exactly the k admitted jobs — a strict prefix, (c) a
+// Releaser source got each admitted job back exactly once, (d) the
+// offending job itself was released exactly once — not zero times (leak),
+// not twice (double release), and (e) nothing past the offending job was
+// ever pulled.
+func TestRunSourceMidStreamErrorContract(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(*task.Job)
+		errWant string
+	}{
+		{"invalid job", func(j *task.Job) { j.InputWork = nil }, "no input tasks"},
+		{"unsorted arrival", func(j *task.Job) { j.Arrival = 0 }, "not sorted"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const good = 5
+			var jobs []*task.Job
+			for i := 0; i < good; i++ {
+				jobs = append(jobs, uniformJob(i, 4, task.Exact(), float64(i)))
+			}
+			bad := uniformJob(good, 4, task.Exact(), float64(good))
+			tc.corrupt(bad)
+			jobs = append(jobs, bad,
+				uniformJob(good+1, 4, task.Exact(), float64(good+1)))
+			src := &trackingSource{jobs: jobs}
+			sim, err := New(sourceTestConfig(), spec.Stateless(spec.NoSpec{}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := map[int]int{}
+			sim.OnResult(func(r JobResult) { seen[r.JobID]++ })
+			stats, err := sim.RunSource(src)
+			if err == nil || !strings.Contains(err.Error(), tc.errWant) {
+				t.Fatalf("error %v, want %q", err, tc.errWant)
+			}
+			if stats != nil {
+				t.Fatal("error path returned non-nil stats")
+			}
+			if len(seen) != good {
+				t.Fatalf("OnResult observed %d jobs, want the %d admitted", len(seen), good)
+			}
+			for id := 0; id < good; id++ {
+				if seen[id] != 1 {
+					t.Errorf("OnResult saw job %d %d times", id, seen[id])
+				}
+				if src.released[id] != 1 {
+					t.Errorf("admitted job %d released %d times, want exactly once", id, src.released[id])
+				}
+			}
+			if src.released[bad.ID] != 1 {
+				t.Errorf("offending job released %d times, want exactly once", src.released[bad.ID])
+			}
+			if src.pulled != good+1 {
+				t.Errorf("source pulled %d jobs — admission must stop at the offending job (want %d)", src.pulled, good+1)
+			}
+		})
+	}
+}
+
+// TestRunSourceFirstPullErrorShortCircuits: a bad job at the very first
+// pull returns immediately — nothing admitted, nothing observed, and the
+// offending job still goes back to the pool exactly once.
+func TestRunSourceFirstPullErrorShortCircuits(t *testing.T) {
+	bad := uniformJob(0, 4, task.Exact(), 0)
+	bad.InputWork = nil
+	src := &trackingSource{jobs: []*task.Job{bad, uniformJob(1, 4, task.Exact(), 1)}}
+	sim, err := New(sourceTestConfig(), spec.Stateless(spec.NoSpec{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	sim.OnResult(func(JobResult) { calls++ })
+	if _, err := sim.RunSource(src); err == nil {
+		t.Fatal("first-pull invalid job not rejected")
+	}
+	if calls != 0 {
+		t.Fatalf("OnResult called %d times with nothing admitted", calls)
+	}
+	if src.released[0] != 1 {
+		t.Fatalf("offending first job released %d times, want exactly once", src.released[0])
+	}
+	if src.pulled != 1 {
+		t.Fatalf("pulled %d jobs after a first-pull failure", src.pulled)
+	}
+}

@@ -144,7 +144,23 @@ func (e *Engine) Step() bool {
 // call and an error if the limit was hit — a guard against runaway
 // simulations.
 func (e *Engine) Run(limit uint64) (uint64, error) {
+	return e.RunEvery(limit, 0, nil)
+}
+
+// RunEvery is Run with a periodic stop check: every `every` fired events
+// (and once before the first) check is called, and a non-nil error stops
+// the loop immediately and is returned with the queue intact. every <= 0 or
+// a nil check is plain Run. The simulator uses this for context
+// cancellation — the check keys the cost off the hot path (one call per
+// batch, not per event), and stopping between events never observes a
+// half-applied callback, so the abandoned state is internally consistent.
+func (e *Engine) RunEvery(limit, every uint64, check func() error) (uint64, error) {
 	var n uint64
+	if check != nil {
+		if err := check(); err != nil {
+			return 0, err
+		}
+	}
 	for e.Step() {
 		n++
 		if limit > 0 && n >= limit {
@@ -152,6 +168,11 @@ func (e *Engine) Run(limit uint64) (uint64, error) {
 				return n, fmt.Errorf("simevent: event limit %d reached with %d events pending", limit, e.Len())
 			}
 			return n, nil
+		}
+		if check != nil && every > 0 && n%every == 0 {
+			if err := check(); err != nil {
+				return n, err
+			}
 		}
 	}
 	return n, nil
