@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"github.com/approx-analytics/grass/internal/exp"
+	"github.com/approx-analytics/grass/internal/simevent"
 	"github.com/approx-analytics/grass/internal/trace"
 )
 
@@ -63,6 +64,7 @@ func run() int {
 		seed     = flag.Int64("seed", 1, "replay seed")
 		shards   = flag.Int("shards", 1, "replay worker goroutines executing partitions; with -partitions set explicitly this never changes results, but when -partitions is 0 it also sets the partition count, which IS model-visible")
 		parts    = flag.Int("partitions", 0, "replay partition count — the sharded model: cluster and trace split with a deterministic merge; results are comparable only at equal partition counts (0 = same as -shards; 1 = the plain engine)")
+		queue    = flag.String("queue", "calendar", "event-queue implementation: calendar | heap; byte-identical results, calendar is faster")
 	)
 	flag.Parse()
 
@@ -127,7 +129,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "grass-bench: -jobs %d is fewer than -partitions %d: every partition needs at least one job\n", *jobs, *parts)
 			return 1
 		}
-		return runReplay(*jobs, *policy, *workload, *bound, *seed, *shards, *parts)
+		return runReplay(*jobs, *policy, *workload, *bound, *queue, *seed, *shards, *parts)
 	}
 
 	cfg := exp.Quick()
@@ -158,7 +160,7 @@ func run() int {
 }
 
 // runReplay executes one streaming replay and renders its aggregates.
-func runReplay(jobs int, policy, workload, bound string, seed int64, shards, partitions int) int {
+func runReplay(jobs int, policy, workload, bound, queue string, seed int64, shards, partitions int) int {
 	rc := exp.DefaultReplayConfig(jobs)
 	rc.Policy = policy
 	rc.Seed = seed
@@ -170,6 +172,10 @@ func runReplay(jobs int, policy, workload, bound string, seed int64, shards, par
 		return 1
 	}
 	if rc.Bound, err = trace.ParseBound(bound); err != nil {
+		fmt.Fprintf(os.Stderr, "grass-bench: %v\n", err)
+		return 1
+	}
+	if rc.Queue, err = simevent.ParseQueueKind(queue); err != nil {
 		fmt.Fprintf(os.Stderr, "grass-bench: %v\n", err)
 		return 1
 	}

@@ -56,6 +56,7 @@ func run() int {
 		forDur   = flag.Duration("for", 0, "close admission after this much wall-clock time (0 = unbounded)")
 		stats    = flag.Duration("stats", 0, "print a live stats line at this interval (0 = off)")
 		queueCap = flag.Int("queue-cap", 0, "per-partition admission queue capacity (0 = default 1024)")
+		queue    = flag.String("queue", "calendar", "event-queue implementation: calendar | heap; byte-identical results, calendar is faster")
 	)
 	flag.Parse()
 
@@ -97,6 +98,10 @@ func run() int {
 
 	sc := grass.DefaultSimConfig()
 	sc.Seed = *seed
+	if sc.EventQueue, err = grass.ParseQueueKind(*queue); err != nil {
+		fmt.Fprintf(os.Stderr, "grass-serve: %v\n", err)
+		return 1
+	}
 	tc := grass.DefaultTraceConfig(w, grass.Hadoop, b)
 	tc.Seed = *seed
 	tc.Slots = sc.Cluster.Machines * sc.Cluster.SlotsPerMachine

@@ -36,6 +36,7 @@ import (
 	"github.com/approx-analytics/grass/internal/metrics"
 	"github.com/approx-analytics/grass/internal/sched"
 	"github.com/approx-analytics/grass/internal/serve"
+	"github.com/approx-analytics/grass/internal/simevent"
 	"github.com/approx-analytics/grass/internal/spec"
 	"github.com/approx-analytics/grass/internal/task"
 	"github.com/approx-analytics/grass/internal/trace"
@@ -81,6 +82,11 @@ type (
 	// cluster logs. Sources that also implement sched.Releaser get finished
 	// jobs handed back for reuse.
 	JobSource = sched.Source
+	// QueueKind selects the event engine's pending-event queue
+	// (SimConfig.EventQueue). Both kinds simulate byte-identically; the
+	// calendar queue (the zero value) is the fast default, the heap the
+	// reference implementation.
+	QueueKind = simevent.QueueKind
 )
 
 // Workload, framework and bound-mode constants.
@@ -95,7 +101,13 @@ const (
 	ErrorBound    = trace.ErrorBound
 	ExactBound    = trace.ExactBound
 	MixedBound    = trace.MixedBound
+
+	CalendarQueue = simevent.Calendar
+	HeapQueue     = simevent.Heap
 )
+
+// ParseQueueKind maps a flag value ("calendar" | "heap") to a QueueKind.
+func ParseQueueKind(s string) (QueueKind, error) { return simevent.ParseQueueKind(s) }
 
 // Job-size bins (paper §6.1).
 const (

@@ -8,6 +8,7 @@ import (
 
 	"github.com/approx-analytics/grass/internal/cluster"
 	"github.com/approx-analytics/grass/internal/estimate"
+	"github.com/approx-analytics/grass/internal/simevent"
 	"github.com/approx-analytics/grass/internal/spec"
 	"github.com/approx-analytics/grass/internal/task"
 	"github.com/approx-analytics/grass/internal/trace"
@@ -69,7 +70,7 @@ func (s *benchStream) Next() (*task.Job, bool) {
 // task-view touches per launch attempt — the numbers BENCH_sim.json tracks
 // across PRs. With stream set, jobs are injected through RunSource instead
 // of the materializing Run.
-func runSimBench(b *testing.B, stream, forceInc bool, factory func() spec.Factory) {
+func runSimBench(b *testing.B, stream, forceInc bool, q simevent.QueueKind, factory func() spec.Factory) {
 	b.Helper()
 	jobs := benchJobs(60)
 	var events, allocs, touches, attempts uint64
@@ -77,7 +78,9 @@ func runSimBench(b *testing.B, stream, forceInc bool, factory func() spec.Factor
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		s, err := New(benchConfig(1), factory())
+		cfg := benchConfig(1)
+		cfg.EventQueue = q
+		s, err := New(cfg, factory())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -129,27 +132,33 @@ func runSimBench(b *testing.B, stream, forceInc bool, factory func() spec.Factor
 // magnitude).
 func BenchmarkSimulatorQuick(b *testing.B) {
 	b.Run("gs", func(b *testing.B) {
-		runSimBench(b, false, false, func() spec.Factory { return spec.Stateless(spec.NewGS()) })
+		runSimBench(b, false, false, simevent.Calendar, func() spec.Factory { return spec.Stateless(spec.NewGS()) })
 	})
 	b.Run("ras", func(b *testing.B) {
-		runSimBench(b, false, false, func() spec.Factory { return spec.Stateless(spec.NewRAS()) })
+		runSimBench(b, false, false, simevent.Calendar, func() spec.Factory { return spec.Stateless(spec.NewRAS()) })
 	})
 	b.Run("late", func(b *testing.B) {
-		runSimBench(b, false, false, func() spec.Factory { return spec.Stateless(spec.NewLATE()) })
+		runSimBench(b, false, false, simevent.Calendar, func() spec.Factory { return spec.Stateless(spec.NewLATE()) })
 	})
 	// The streaming admission path (RunSource) on the same workload: one
 	// reusable arrival closure instead of one closure per job.
 	b.Run("gs-stream", func(b *testing.B) {
-		runSimBench(b, true, false, func() spec.Factory { return spec.Stateless(spec.NewGS()) })
+		runSimBench(b, true, false, simevent.Calendar, func() spec.Factory { return spec.Stateless(spec.NewGS()) })
 	})
 	b.Run("gs-inc", func(b *testing.B) {
-		runSimBench(b, false, true, func() spec.Factory { return spec.Stateless(spec.NewGS()) })
+		runSimBench(b, false, true, simevent.Calendar, func() spec.Factory { return spec.Stateless(spec.NewGS()) })
 	})
 	b.Run("ras-inc", func(b *testing.B) {
-		runSimBench(b, false, true, func() spec.Factory { return spec.Stateless(spec.NewRAS()) })
+		runSimBench(b, false, true, simevent.Calendar, func() spec.Factory { return spec.Stateless(spec.NewRAS()) })
 	})
 	b.Run("late-inc", func(b *testing.B) {
-		runSimBench(b, false, true, func() spec.Factory { return spec.Stateless(spec.NewLATE()) })
+		runSimBench(b, false, true, simevent.Calendar, func() spec.Factory { return spec.Stateless(spec.NewLATE()) })
+	})
+	// The heap reference queue on the gs workload: the same simulation
+	// byte for byte (TestReplayQueueKindInvariance), so the ns/event gap
+	// against "gs" is purely the queue implementation.
+	b.Run("gs-heap", func(b *testing.B) {
+		runSimBench(b, false, false, simevent.Heap, func() spec.Factory { return spec.Stateless(spec.NewGS()) })
 	})
 }
 
@@ -199,13 +208,15 @@ func BenchmarkLargeJobReplay(b *testing.B) {
 			uniformJob(3, 2000, task.Exact(), 15),
 		}
 	}
-	run := func(b *testing.B, factory func() spec.Factory) {
+	run := func(b *testing.B, q simevent.QueueKind, factory func() spec.Factory) {
 		b.Helper()
 		var touches, rescales, attempts, events uint64
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
-			s, err := New(benchConfig(1), factory())
+			cfg := benchConfig(1)
+			cfg.EventQueue = q
+			s, err := New(cfg, factory())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -232,10 +243,16 @@ func BenchmarkLargeJobReplay(b *testing.B) {
 		}
 	}
 	b.Run("incremental", func(b *testing.B) {
-		run(b, func() spec.Factory { return spec.Stateless(spec.NewGS()) })
+		run(b, simevent.Calendar, func() spec.Factory { return spec.Stateless(spec.NewGS()) })
 	})
 	b.Run("rebuild", func(b *testing.B) {
-		run(b, func() spec.Factory { return rebuildOnly{spec.Stateless(spec.NewGS())} })
+		run(b, simevent.Calendar, func() spec.Factory { return rebuildOnly{spec.Stateless(spec.NewGS())} })
+	})
+	// The same replay on the heap reference queue: large jobs keep
+	// thousands of pending events queued, the regime the calendar queue's
+	// O(1) amortized operations target.
+	b.Run("incremental-heap", func(b *testing.B) {
+		run(b, simevent.Heap, func() spec.Factory { return spec.Stateless(spec.NewGS()) })
 	})
 }
 

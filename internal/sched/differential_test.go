@@ -121,11 +121,11 @@ func attachDifferentialCheck(t testing.TB, s *Simulator) *int {
 		count++
 		now := s.eng.Now()
 		refBuf = refBuf[:0]
-		for _, tr := range js.phase.tasks {
-			if tr.completed {
+		for i := 0; i < js.phase.n; i++ {
+			if js.tasks.completed[i] {
 				continue
 			}
-			refBuf = append(refBuf, s.taskView(js, tr, now, false))
+			refBuf = append(refBuf, s.taskView(js, i, now, false))
 		}
 		incBuf = vs.AppendCompact(incBuf[:0])
 		if !reflect.DeepEqual(refBuf, incBuf) {

@@ -24,9 +24,10 @@ func saturatedSim(t *testing.T, seed int64, tasks int) (*Simulator, *jobState, f
 	}
 	js := s.active[0]
 	minEnd := math.Inf(1)
-	for _, tr := range js.phase.tasks {
-		if len(tr.copies) > 0 && tr.bestEnd < minEnd {
-			minEnd = tr.bestEnd
+	tb := &js.tasks
+	for i := 0; i < js.phase.n; i++ {
+		if len(tb.copies[i]) > 0 && tb.bestEnd[i] < minEnd {
+			minEnd = tb.bestEnd[i]
 		}
 	}
 	return s, js, minEnd
@@ -158,36 +159,37 @@ func TestFirstStartResetAfterPreemption(t *testing.T) {
 	s, js, minEnd := saturatedSim(t, 51, 40)
 	probe := minEnd / 2
 	s.eng.At(probe, func(*simevent.Engine) {
-		hadCopy := make(map[*taskRun]bool)
-		for _, tr := range js.phase.tasks {
-			hadCopy[tr] = len(tr.copies) == 1
+		tb := &js.tasks
+		hadCopy := make([]bool, js.phase.n)
+		for i := 0; i < js.phase.n; i++ {
+			hadCopy[i] = len(tb.copies[i]) == 1
 		}
 		if !s.preemptYoungest(js) {
 			t.Fatal("preemptYoungest found nothing to kill")
 		}
-		var victim *taskRun
-		for _, tr := range js.phase.tasks {
-			if hadCopy[tr] && len(tr.copies) == 0 {
-				victim = tr
+		victim := -1
+		for i := 0; i < js.phase.n; i++ {
+			if hadCopy[i] && len(tb.copies[i]) == 0 {
+				victim = i
 				break
 			}
 		}
-		if victim == nil {
+		if victim < 0 {
 			t.Fatal("no task was emptied by preemption")
 		}
-		if victim.firstStart != 0 {
-			t.Fatalf("victim firstStart %v before relaunch, want its original 0", victim.firstStart)
+		if tb.firstStart[victim] != 0 {
+			t.Fatalf("victim firstStart %v before relaunch, want its original 0", tb.firstStart[victim])
 		}
 		// NoSpec relaunches the lowest-index unscheduled task — the victim,
 		// whose index precedes every never-launched task.
 		s.dispatch()
-		if len(victim.copies) != 1 {
-			t.Fatalf("victim not relaunched: %d copies", len(victim.copies))
+		if len(tb.copies[victim]) != 1 {
+			t.Fatalf("victim not relaunched: %d copies", len(tb.copies[victim]))
 		}
-		if victim.firstStart != probe {
-			t.Fatalf("victim firstStart %v after relaunch at %v; stale spans poison Elapsed views", victim.firstStart, probe)
+		if tb.firstStart[victim] != probe {
+			t.Fatalf("victim firstStart %v after relaunch at %v; stale spans poison Elapsed views", tb.firstStart[victim], probe)
 		}
-		if victim.best == nil || victim.best != victim.copies[0] {
+		if tb.best[victim] == nil || tb.best[victim] != tb.copies[victim][0] {
 			t.Fatal("best-copy cache not rebuilt on relaunch")
 		}
 	})

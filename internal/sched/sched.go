@@ -17,6 +17,7 @@ import (
 	"github.com/approx-analytics/grass/internal/cluster"
 	"github.com/approx-analytics/grass/internal/dist"
 	"github.com/approx-analytics/grass/internal/estimate"
+	"github.com/approx-analytics/grass/internal/simevent"
 	"github.com/approx-analytics/grass/internal/task"
 )
 
@@ -49,15 +50,20 @@ type Config struct {
 	// of data; schedulers cannot estimate t_rem for a copy that has not
 	// reported). Default 0.15.
 	MinSpecProgress float64
-	// Oracle gives policies ground-truth TaskViews: exact remaining times
-	// and the exact duration the next copy of each task would have. Used for
-	// the optimal baseline (§2.3, §6.2.3).
-	Oracle bool
 	// Seed drives all randomness; identical seeds with identical traces
 	// replay identical stragglers, so policy comparisons are paired.
 	Seed int64
 	// MaxEvents guards against runaway simulations (default 50M).
 	MaxEvents uint64
+	// EventQueue selects the engine's pending-event queue implementation.
+	// The zero value is simevent.Calendar, the default; simevent.Heap is
+	// the reference implementation kept for differential testing. Both
+	// produce byte-identical runs — only throughput differs.
+	EventQueue simevent.QueueKind
+	// Oracle gives policies ground-truth TaskViews: exact remaining times
+	// and the exact duration the next copy of each task would have. Used for
+	// the optimal baseline (§2.3, §6.2.3).
+	Oracle bool
 }
 
 // DefaultConfig returns the configuration used throughout the evaluation:

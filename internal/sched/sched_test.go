@@ -485,8 +485,8 @@ func TestJobStateRecycling(t *testing.T) {
 	if js.job != nil || js.policy != nil || js.phase != nil || js.deadlineEv != nil {
 		t.Fatalf("pooled jobState retains references: %+v", js)
 	}
-	if cap(js.taskRuns) == 0 || cap(js.taskPtrs) == 0 {
-		t.Fatal("pooled jobState lost its recycled phase storage")
+	if cap(js.tasks.work) == 0 || cap(js.tasks.copies) == 0 {
+		t.Fatal("pooled jobState lost its recycled task block")
 	}
 	if js.deadlineFn == nil {
 		t.Fatal("pooled jobState lost its reusable deadline closure")

@@ -26,26 +26,26 @@ type pend struct {
 // preempted) strictly before its slot is reused, so the dispatch hot path
 // launches without allocating.
 type copyRun struct {
-	machineID   int
-	start       float64
-	duration    float64 // ground-truth total runtime
-	speculative bool
-	ev          *simevent.Event
-	estTNew     float64 // t_new estimate at launch, 0 when not recorded
-	tremBias    float64 // persistent estimation error of this copy's t_rem
+	machineID int
+	start     float64
+	duration  float64 // ground-truth total runtime
+	ev        *simevent.Event
+	estTNew   float64 // t_new estimate at launch, 0 when not recorded
+	tremBias  float64 // persistent estimation error of this copy's t_rem
 
 	// pendTRem holds up to 4 outstanding t_rem estimates awaiting scoring;
 	// inline storage avoids a heap slice per copy.
 	pendTRem [4]pend
 	pendN    int
 
-	// js/task identify the copy's owner so fn — the completion callback
-	// handed to the event engine — can be built once per pooled instance and
-	// reused across recycles instead of allocating a fresh closure per
-	// launch.
-	js   *jobState
-	task *taskRun
-	fn   func(*simevent.Engine)
+	// js/task identify the copy's owner (task is the slot into js.tasks) so
+	// fn — the completion callback handed to the event engine — can be built
+	// once per pooled instance and reused across recycles instead of
+	// allocating a fresh closure per launch.
+	js          *jobState
+	fn          func(*simevent.Engine)
+	task        int32
+	speculative bool
 }
 
 func (c *copyRun) remaining(now float64) float64 {
@@ -56,40 +56,83 @@ func (c *copyRun) remaining(now float64) float64 {
 	return r
 }
 
-// taskRun is the runtime state of one task.
-type taskRun struct {
-	index      int
-	work       float64
-	copies     []*copyRun
-	completed  bool
-	span       float64 // first launch to completion, for straggler stats
-	firstStart float64
-	nextFactor float64 // predrawn duration factor for the next copy (oracle lookahead)
-	tnewBias   float64 // persistent estimation error of this task's t_new
+// taskBlock is the hot per-task run state of a job's current phase, laid
+// out struct-of-arrays and indexed by task slot. The fields the dispatch
+// hot path touches every event — copy lists, completion flags, the cached
+// best-copy ends, the estimator bias factors — each live in their own
+// contiguous array, so the refresh and rebuild walks (and a batch of
+// same-time completions) stream through memory instead of chasing one
+// pointer per task. Only one phase is alive at a time, so one block
+// (recycled across phases and, via the simulator's jobState pool, across
+// jobs) serves the whole DAG.
+type taskBlock struct {
+	work       []float64
+	span       []float64 // first launch to completion, for straggler stats
+	firstStart []float64
+	nextFactor []float64 // predrawn duration factor for the next copy (oracle lookahead)
+	tnewBias   []float64 // persistent estimation error of each task's t_new
 
 	// View caches, maintained on copy launch/completion/preemption instead
 	// of being recomputed on every launch attempt (the dispatch hot path).
-	best    *copyRun // earliest-finishing copy; first appended wins ties
-	bestEnd float64  // best.start + best.duration
-	dirty   bool     // task is on its job's incremental-view dirty list
+	bestEnd   []float64  // best[i].start + best[i].duration
+	best      []*copyRun // earliest-finishing copy; first appended wins ties
+	copies    [][]*copyRun
+	completed []bool
+	dirty     []bool // task is on its job's incremental-view dirty list
 }
 
-// recomputeBest rescans copies in append order for the earliest-finishing
-// one (strict < keeps the first among ties, matching the view the policies
-// have always seen).
-func (t *taskRun) recomputeBest() {
-	t.best = nil
-	t.bestEnd = math.Inf(1)
-	for _, c := range t.copies {
-		if end := c.start + c.duration; end < t.bestEnd {
-			t.best, t.bestEnd = c, end
+// reset sizes every array to n tasks and zeroes the slots, keeping pooled
+// capacity (including each task's copy-list backing array) when it fits.
+func (tb *taskBlock) reset(n int) {
+	if cap(tb.work) < n {
+		tb.work = make([]float64, n)
+		tb.span = make([]float64, n)
+		tb.firstStart = make([]float64, n)
+		tb.nextFactor = make([]float64, n)
+		tb.tnewBias = make([]float64, n)
+		tb.bestEnd = make([]float64, n)
+		tb.best = make([]*copyRun, n)
+		tb.copies = make([][]*copyRun, n)
+		tb.completed = make([]bool, n)
+		tb.dirty = make([]bool, n)
+		return
+	}
+	tb.work = tb.work[:n]
+	tb.span = tb.span[:n]
+	tb.firstStart = tb.firstStart[:n]
+	tb.nextFactor = tb.nextFactor[:n]
+	tb.tnewBias = tb.tnewBias[:n]
+	tb.bestEnd = tb.bestEnd[:n]
+	tb.best = tb.best[:n]
+	tb.copies = tb.copies[:n]
+	tb.completed = tb.completed[:n]
+	tb.dirty = tb.dirty[:n]
+	for i := 0; i < n; i++ {
+		tb.work[i], tb.span[i], tb.firstStart[i] = 0, 0, 0
+		tb.nextFactor[i], tb.tnewBias[i], tb.bestEnd[i] = 0, 0, 0
+		tb.best[i] = nil
+		tb.copies[i] = tb.copies[i][:0]
+		tb.completed[i], tb.dirty[i] = false, false
+	}
+}
+
+// recomputeBest rescans task i's copies in append order for the
+// earliest-finishing one (strict < keeps the first among ties, matching
+// the view the policies have always seen).
+func (tb *taskBlock) recomputeBest(i int) {
+	tb.best[i] = nil
+	tb.bestEnd[i] = math.Inf(1)
+	for _, c := range tb.copies[i] {
+		if end := c.start + c.duration; end < tb.bestEnd[i] {
+			tb.best[i], tb.bestEnd[i] = c, end
 		}
 	}
 }
 
-// phaseRun is one DAG phase in flight.
+// phaseRun is one DAG phase in flight; its per-task state is the job's
+// taskBlock, sized n.
 type phaseRun struct {
-	tasks     []*taskRun
+	n         int // task count
 	completed int
 	target    int // completions needed to satisfy this phase
 }
@@ -110,8 +153,6 @@ type jobState struct {
 	phase    *phaseRun
 	running  int
 	specRun  int
-	done     bool
-	declined bool // within the current dispatch round
 
 	// share is the job's max-min fair slot share, refreshed at the start of
 	// each dispatch round; demandPos is the job's position in the
@@ -125,29 +166,18 @@ type jobState struct {
 	res              JobResult
 
 	// Pooled per-job storage, kept across phases and — via the simulator's
-	// jobState free list — across jobs: the phase's task pointer slice, the
-	// block of taskRun values it points into, the phaseRun they live in,
-	// and the reusable deadline-event closure (built once per pooled
-	// instance, like copyRun.fn). Only one phase is alive at a time, so
-	// one buffer serves the whole DAG.
-	taskPtrs   []*taskRun
-	taskRuns   []taskRun
+	// jobState free list — across jobs: the struct-of-arrays task block of
+	// the current phase, the phaseRun describing it, and the reusable
+	// deadline-event closure (built once per pooled instance, like
+	// copyRun.fn). Only one phase is alive at a time, so one block serves
+	// the whole DAG; reset overwrites it when the phase advances (the old
+	// phase's copies were killed and its stats recorded by then).
+	tasks      taskBlock
 	phaseBuf   phaseRun
 	deadlineFn func(*simevent.Engine)
-}
 
-// phaseStorage returns task slices of length n backed by the job's pooled
-// buffers, minting capacity on first use. The previous phase's tasks are
-// dead by the time a new phase is built (its copies were killed and its
-// stats recorded), so overwriting the same block is safe.
-func (js *jobState) phaseStorage(n int) ([]*taskRun, []taskRun) {
-	if cap(js.taskPtrs) < n {
-		js.taskPtrs = make([]*taskRun, n)
-	}
-	if cap(js.taskRuns) < n {
-		js.taskRuns = make([]taskRun, n)
-	}
-	return js.taskPtrs[:n], js.taskRuns[:n]
+	done     bool
+	declined bool // within the current dispatch round
 }
 
 // demand approximates the job's slot demand by the incomplete task count of
@@ -156,7 +186,7 @@ func (js *jobState) demand() int {
 	if js.phase == nil {
 		return 0
 	}
-	d := len(js.phase.tasks) - js.phase.completed
+	d := js.phase.n - js.phase.completed
 	if d < 0 {
 		d = 0
 	}
@@ -275,22 +305,23 @@ func (s *Simulator) TouchStats() (viewTouches, tnewRescales, launchAttempts uint
 	return s.viewTouches, s.tnewRescales, s.launchAttempts
 }
 
-// newCopy takes a copyRun from the free list (or mints one), owned by (js, t).
-func (s *Simulator) newCopy(js *jobState, t *taskRun) *copyRun {
+// newCopy takes a copyRun from the free list (or mints one), owned by job
+// js's task slot ti.
+func (s *Simulator) newCopy(js *jobState, ti int) *copyRun {
 	if n := len(s.copyPool); n > 0 {
 		c := s.copyPool[n-1]
 		s.copyPool = s.copyPool[:n-1]
-		*c = copyRun{js: js, task: t, fn: c.fn}
+		*c = copyRun{js: js, task: int32(ti), fn: c.fn}
 		return c
 	}
-	c := &copyRun{js: js, task: t}
-	c.fn = func(*simevent.Engine) { s.onCopyComplete(c.js, c.task, c) }
+	c := &copyRun{js: js, task: int32(ti)}
+	c.fn = func(*simevent.Engine) { s.onCopyComplete(c.js, int(c.task), c) }
 	return c
 }
 
 // freeCopy returns a dead copy (scored, released, unlinked) to the pool.
 func (s *Simulator) freeCopy(c *copyRun) {
-	c.js, c.task, c.ev = nil, nil, nil
+	c.js, c.task, c.ev = nil, 0, nil
 	s.copyPool = append(s.copyPool, c)
 }
 
@@ -317,9 +348,9 @@ func (s *Simulator) freeJobState(js *jobState) {
 	jv := js.jv
 	jv.invalidate()
 	jv.onTNewRefresh = nil
-	taskPtrs, taskRuns := js.taskPtrs, js.taskRuns
+	tasks := js.tasks
 	deadlineFn := js.deadlineFn
-	*js = jobState{jv: jv, taskPtrs: taskPtrs, taskRuns: taskRuns, deadlineFn: deadlineFn}
+	*js = jobState{jv: jv, tasks: tasks, deadlineFn: deadlineFn}
 	s.jsPool = append(s.jsPool, js)
 }
 
@@ -386,7 +417,7 @@ func New(cfg Config, factory spec.Factory) (*Simulator, error) {
 	s := &Simulator{
 		cfg:         cfg,
 		factory:     factory,
-		eng:         simevent.New(),
+		eng:         simevent.NewKind(cfg.EventQueue),
 		rngPlace:    root.Split(),
 		rngDur:      root.Split(),
 		rngEst:      root.Split(),
@@ -453,6 +484,26 @@ const ctxCheckEvery = 4096
 // but the simulator itself must not be reused — build a fresh one. Must be
 // called before Run/RunSource. A nil ctx (the default) disables checking.
 func (s *Simulator) SetContext(ctx context.Context) { s.ctx = ctx }
+
+// RunUntil fires all events up to simulation time t and advances the clock
+// to exactly t, honoring the cancellation context with the same cadence as
+// Run/RunSource (every ctxCheckEvery events). A cancelled drain returns
+// ctx.Err() with the queue intact; like a cancelled Run, the simulator must
+// not be reused afterwards. Admission must already be scheduled (Run
+// arrivals or a RunSource feed) for the drain to have anything to fire.
+func (s *Simulator) RunUntil(t float64) error {
+	var check func() error
+	if s.ctx != nil {
+		check = s.ctx.Err
+	}
+	if _, err := s.eng.RunUntilEvery(t, ctxCheckEvery, check); err != nil {
+		return err
+	}
+	if s.ctx != nil {
+		return s.ctx.Err()
+	}
+	return nil
+}
 
 // Utilization reports the cluster's instantaneous slot utilization — a
 // telemetry gauge for live serving. Only safe from the simulator's own
@@ -547,16 +598,14 @@ func (s *Simulator) admit(j *task.Job) {
 	s.dispatch()
 }
 
-// newInputPhase builds the job's input phase in js's pooled storage (one
-// block of taskRuns, not one alloc per task — and on a recycled jobState,
+// newInputPhase builds the job's input phase in js's pooled task block
+// (struct-of-arrays, not one object per task — and on a recycled jobState,
 // no alloc at all).
 func (s *Simulator) newInputPhase(js *jobState, j *task.Job) *phaseRun {
-	tasks, runs := js.phaseStorage(len(j.InputWork))
-	for i, w := range j.InputWork {
-		runs[i] = taskRun{index: i, work: w}
-		tasks[i] = &runs[i]
-	}
-	js.phaseBuf = phaseRun{tasks: tasks, target: j.Bound.TargetTasks(len(tasks))}
+	n := len(j.InputWork)
+	js.tasks.reset(n)
+	copy(js.tasks.work, j.InputWork)
+	js.phaseBuf = phaseRun{n: n, target: j.Bound.TargetTasks(n)}
 	return &js.phaseBuf
 }
 
@@ -751,12 +800,12 @@ func (s *Simulator) preemptYoungest(victim *jobState) bool {
 	if victim.phase == nil {
 		return false
 	}
-	var t *taskRun
-	ci := -1
-	for _, tr := range victim.phase.tasks {
-		for i, c := range tr.copies {
-			if ci == -1 || c.start > t.copies[ci].start {
-				t, ci = tr, i
+	tb := &victim.tasks
+	ti, ci := -1, -1
+	for i := 0; i < victim.phase.n; i++ {
+		for k, c := range tb.copies[i] {
+			if ci == -1 || c.start > tb.copies[ti][ci].start {
+				ti, ci = i, k
 			}
 		}
 	}
@@ -764,7 +813,7 @@ func (s *Simulator) preemptYoungest(victim *jobState) bool {
 		return false
 	}
 	s.noteUtil()
-	c := t.copies[ci]
+	c := tb.copies[ti][ci]
 	s.eng.Cancel(c.ev)
 	s.cl.Release(c.machineID)
 	victim.running--
@@ -773,12 +822,12 @@ func (s *Simulator) preemptYoungest(victim *jobState) bool {
 	}
 	victim.res.Preempted++
 	s.scoreCopy(c, s.eng.Now())
-	t.copies = append(t.copies[:ci], t.copies[ci+1:]...)
-	if t.best == c {
-		t.recomputeBest()
+	tb.copies[ti] = append(tb.copies[ti][:ci], tb.copies[ti][ci+1:]...)
+	if tb.best[ti] == c {
+		tb.recomputeBest(ti)
 	}
 	s.freeCopy(c)
-	s.notePreempt(victim, t)
+	s.notePreempt(victim, ti)
 	return true
 }
 
@@ -796,7 +845,7 @@ func (s *Simulator) tryLaunch(js *jobState) bool {
 	var d spec.Decision
 	var ok bool
 	var estTNew float64
-	if js.inc != nil && len(phase.tasks) >= s.incMinTasks {
+	if js.inc != nil && phase.n >= s.incMinTasks {
 		vs := s.refreshViews(js)
 		if vs.Len() == 0 {
 			return false
@@ -808,7 +857,7 @@ func (s *Simulator) tryLaunch(js *jobState) bool {
 		if !ok {
 			return false
 		}
-		if d.TaskIndex >= 0 && d.TaskIndex < len(phase.tasks) {
+		if d.TaskIndex >= 0 && d.TaskIndex < phase.n {
 			// The estimate the policy saw, for accuracy scoring.
 			estTNew = vs.At(d.TaskIndex).TNew
 		}
@@ -829,46 +878,46 @@ func (s *Simulator) tryLaunch(js *jobState) bool {
 			}
 		}
 	}
-	if d.TaskIndex < 0 || d.TaskIndex >= len(phase.tasks) {
+	if d.TaskIndex < 0 || d.TaskIndex >= phase.n {
 		panic(fmt.Sprintf("sched: policy %s picked invalid task %d", js.policy.Name(), d.TaskIndex))
 	}
-	t := phase.tasks[d.TaskIndex]
-	if t.completed {
+	if js.tasks.completed[d.TaskIndex] {
 		panic(fmt.Sprintf("sched: policy %s picked completed task %d", js.policy.Name(), d.TaskIndex))
 	}
-	s.launch(js, t, d.Speculative, estTNew)
+	s.launch(js, d.TaskIndex, d.Speculative, estTNew)
 	return true
 }
 
-// launch starts one copy of t on a free slot.
-func (s *Simulator) launch(js *jobState, t *taskRun, speculative bool, estTNew float64) {
+// launch starts one copy of task slot ti on a free slot.
+func (s *Simulator) launch(js *jobState, ti int, speculative bool, estTNew float64) {
 	s.noteUtil()
 	m, ok := s.cl.Acquire(s.rngPlace)
 	if !ok {
 		panic("sched: launch without a free slot")
 	}
-	factor := t.nextFactor
+	tb := &js.tasks
+	factor := tb.nextFactor[ti]
 	if factor <= 0 {
 		factor = s.drawFactor(js)
 	}
-	t.nextFactor = 0 // consumed
+	tb.nextFactor[ti] = 0 // consumed
 	now := s.eng.Now()
-	c := s.newCopy(js, t)
+	c := s.newCopy(js, ti)
 	c.machineID = m.ID
 	c.start = now
-	c.duration = t.work * factor * m.Slowdown
+	c.duration = tb.work[ti] * factor * m.Slowdown
 	c.speculative = speculative
 	c.tremBias = 1
 	if !s.cfg.Oracle {
 		c.estTNew = estTNew
 		c.tremBias = s.est.SampleTRemBias()
 	}
-	if len(t.copies) == 0 {
-		t.firstStart = now
+	if len(tb.copies[ti]) == 0 {
+		tb.firstStart[ti] = now
 	}
-	t.copies = append(t.copies, c)
-	if end := c.start + c.duration; t.best == nil || end < t.bestEnd {
-		t.best, t.bestEnd = c, end
+	tb.copies[ti] = append(tb.copies[ti], c)
+	if end := c.start + c.duration; tb.best[ti] == nil || end < tb.bestEnd[ti] {
+		tb.best[ti], tb.bestEnd[ti] = c, end
 	}
 	js.running++
 	js.res.Launched++
@@ -877,7 +926,7 @@ func (s *Simulator) launch(js *jobState, t *taskRun, speculative bool, estTNew f
 		js.res.Speculative++
 	}
 	c.ev = s.eng.At(now+c.duration, c.fn)
-	s.noteLaunch(js, t)
+	s.noteLaunch(js, ti)
 }
 
 // drawFactor samples a duration factor from the phase-appropriate tail.
@@ -892,7 +941,7 @@ func (s *Simulator) drawFactor(js *jobState) float64 {
 func (s *Simulator) buildCtx(js *jobState) spec.Ctx {
 	now := s.eng.Now()
 	ctx := spec.Ctx{
-		TotalTasks:        len(js.phase.tasks),
+		TotalTasks:        js.phase.n,
 		TargetTasks:       js.phase.target,
 		CompletedTasks:    js.phase.completed,
 		WaveWidth:         s.fairShare(0),
@@ -928,14 +977,15 @@ func (s *Simulator) buildCtx(js *jobState) spec.Ctx {
 // are remembered for accuracy scoring.
 func (s *Simulator) buildViews(js *jobState) []spec.TaskView {
 	now := s.eng.Now()
+	tb := &js.tasks
 	s.viewBuf = s.viewBuf[:0]
-	for _, t := range js.phase.tasks {
-		if t.completed {
+	for i := 0; i < js.phase.n; i++ {
+		if tb.completed[i] {
 			continue
 		}
-		v := s.taskView(js, t, now, true)
+		v := s.taskView(js, i, now, true)
 		if !s.cfg.Oracle && v.Speculable {
-			if bc := t.best; bc.pendN < len(bc.pendTRem) {
+			if bc := tb.best[i]; bc.pendN < len(bc.pendTRem) {
 				bc.pendTRem[bc.pendN] = pend{est: v.TRem, at: now}
 				bc.pendN++
 			}
@@ -949,7 +999,7 @@ func (s *Simulator) buildViews(js *jobState) []spec.TaskView {
 // onCopyComplete handles a copy finishing: the task completes, sibling
 // copies are killed ("the earliest among the original and speculative
 // copies is picked while the rest are killed"), and the job advances.
-func (s *Simulator) onCopyComplete(js *jobState, t *taskRun, c *copyRun) {
+func (s *Simulator) onCopyComplete(js *jobState, ti int, c *copyRun) {
 	s.noteUtil()
 	now := s.eng.Now()
 	s.cl.Release(c.machineID)
@@ -958,18 +1008,19 @@ func (s *Simulator) onCopyComplete(js *jobState, t *taskRun, c *copyRun) {
 		js.specRun--
 	}
 	s.scoreCopy(c, now)
-	if t.completed {
+	tb := &js.tasks
+	if tb.completed[ti] {
 		// Sibling kills cancel events, so this cannot happen; keep the
 		// guard cheap rather than crash a long experiment.
 		s.dispatch()
 		return
 	}
-	t.completed = true
-	t.span = now - t.firstStart
-	s.noteComplete(js, t)
-	s.est.ObserveCompletion(c.duration / t.work)
+	tb.completed[ti] = true
+	tb.span[ti] = now - tb.firstStart[ti]
+	s.noteComplete(js, ti)
+	s.est.ObserveCompletion(c.duration / tb.work[ti])
 	// Kill the losing copies.
-	for _, o := range t.copies {
+	for _, o := range tb.copies[ti] {
 		if o == c {
 			continue
 		}
@@ -982,11 +1033,11 @@ func (s *Simulator) onCopyComplete(js *jobState, t *taskRun, c *copyRun) {
 		js.res.Killed++
 		s.scoreCopy(o, now)
 	}
-	for _, o := range t.copies {
+	for _, o := range tb.copies[ti] {
 		s.freeCopy(o)
 	}
-	t.copies = nil
-	t.best = nil
+	tb.copies[ti] = tb.copies[ti][:0]
+	tb.best[ti] = nil
 	js.phase.completed++
 	s.repositionDemand(js)
 	if js.phaseIdx == 0 {
@@ -1038,8 +1089,9 @@ func (s *Simulator) finishPhase(js *jobState) {
 	// lazily at its first launch attempt.
 	js.jv.invalidate()
 	// Kill every copy still running in this phase (unneeded work).
-	for _, t := range js.phase.tasks {
-		for _, c := range t.copies {
+	tb := &js.tasks
+	for i := 0; i < js.phase.n; i++ {
+		for _, c := range tb.copies[i] {
 			s.eng.Cancel(c.ev)
 			s.cl.Release(c.machineID)
 			js.running--
@@ -1050,15 +1102,15 @@ func (s *Simulator) finishPhase(js *jobState) {
 			s.scoreCopy(c, now)
 			s.freeCopy(c)
 		}
-		t.copies = nil
-		t.best = nil
+		tb.copies[i] = tb.copies[i][:0]
+		tb.best[i] = nil
 	}
 	if js.phaseIdx == 0 {
 		js.inputEnd = now
-		total := len(js.phase.tasks)
+		total := js.phase.n
 		js.res.Accuracy = float64(js.phase.completed) / float64(total)
 		js.res.InputDuration = now - js.job.Arrival
-		js.res.StragglerRatio = s.stragglerRatio(js.phase)
+		js.res.StragglerRatio = s.stragglerRatio(js)
 		if js.deadlineEv != nil {
 			s.eng.Cancel(js.deadlineEv)
 			js.deadlineEv = nil
@@ -1071,22 +1123,23 @@ func (s *Simulator) finishPhase(js *jobState) {
 	}
 	p := js.job.Phases[js.phaseIdx]
 	js.phaseIdx++
-	tasks, runs := js.phaseStorage(p.NumTasks)
-	for i := range tasks {
-		runs[i] = taskRun{index: i, work: p.WorkScale}
-		tasks[i] = &runs[i]
+	js.tasks.reset(p.NumTasks)
+	for i := range js.tasks.work {
+		js.tasks.work[i] = p.WorkScale
 	}
-	js.phaseBuf = phaseRun{tasks: tasks, target: p.NumTasks}
+	js.phaseBuf = phaseRun{n: p.NumTasks, target: p.NumTasks}
 	js.phase = &js.phaseBuf
 	s.repositionDemand(js)
 }
 
-// stragglerRatio returns max/median of work-normalized completed task spans.
-func (s *Simulator) stragglerRatio(p *phaseRun) float64 {
-	spans := make([]float64, 0, len(p.tasks))
-	for _, t := range p.tasks {
-		if t.completed && t.work > 0 {
-			spans = append(spans, t.span/t.work)
+// stragglerRatio returns max/median of work-normalized completed task spans
+// of the job's current phase.
+func (s *Simulator) stragglerRatio(js *jobState) float64 {
+	tb := &js.tasks
+	spans := make([]float64, 0, js.phase.n)
+	for i := 0; i < js.phase.n; i++ {
+		if tb.completed[i] && tb.work[i] > 0 {
+			spans = append(spans, tb.span[i]/tb.work[i])
 		}
 	}
 	if len(spans) < 2 {

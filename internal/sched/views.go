@@ -48,8 +48,8 @@ type jobViews struct {
 	// lastNow is the simulation time the running views were refreshed at;
 	// within one dispatch round's timestamp they stay valid.
 	lastNow float64
-	// dirty lists task indices touched since the last refresh (deduped via
-	// taskRun.dirty).
+	// dirty lists task slots touched since the last refresh (deduped via
+	// the task block's dirty bits).
 	dirty []int
 
 	// onTNewRefresh, when set (tests), observes every estimator-driven
@@ -66,46 +66,46 @@ func (jv *jobViews) invalidate() {
 	jv.dirty = jv.dirty[:0]
 }
 
-// dirtyTask marks t for re-derivation at the next refresh.
-func (s *Simulator) dirtyTask(js *jobState, t *taskRun) {
+// dirtyTask marks task slot ti for re-derivation at the next refresh.
+func (s *Simulator) dirtyTask(js *jobState, ti int) {
 	jv := &js.jv
-	if !jv.live(js) || t.dirty {
+	if !jv.live(js) || js.tasks.dirty[ti] {
 		return
 	}
-	t.dirty = true
-	jv.dirty = append(jv.dirty, t.index)
+	js.tasks.dirty[ti] = true
+	jv.dirty = append(jv.dirty, ti)
 }
 
-// noteLaunch updates the view state for a copy launch on t: the first
-// copy moves the task to the running list, and the task's view (copy
-// count, best copy, consumed oracle factor) is stale until refresh.
-func (s *Simulator) noteLaunch(js *jobState, t *taskRun) {
+// noteLaunch updates the view state for a copy launch on task ti: the
+// first copy moves the task to the running list, and the task's view
+// (copy count, best copy, consumed oracle factor) is stale until refresh.
+func (s *Simulator) noteLaunch(js *jobState, ti int) {
 	if !js.jv.live(js) {
 		return
 	}
-	if len(t.copies) == 1 {
-		js.jv.vs.NoteLaunched(t.index)
+	if len(js.tasks.copies[ti]) == 1 {
+		js.jv.vs.NoteLaunched(ti)
 	}
-	s.dirtyTask(js, t)
+	s.dirtyTask(js, ti)
 }
 
-// notePreempt updates the view state after a copy of t was preempted.
-func (s *Simulator) notePreempt(js *jobState, t *taskRun) {
+// notePreempt updates the view state after a copy of task ti was preempted.
+func (s *Simulator) notePreempt(js *jobState, ti int) {
 	if !js.jv.live(js) {
 		return
 	}
-	if len(t.copies) == 0 {
-		js.jv.vs.NoteIdle(t.index)
+	if len(js.tasks.copies[ti]) == 0 {
+		js.jv.vs.NoteIdle(ti)
 	}
-	s.dirtyTask(js, t)
+	s.dirtyTask(js, ti)
 }
 
-// noteComplete removes t from the view state when it completes.
-func (s *Simulator) noteComplete(js *jobState, t *taskRun) {
+// noteComplete removes task ti from the view state when it completes.
+func (s *Simulator) noteComplete(js *jobState, ti int) {
 	if !js.jv.live(js) {
 		return
 	}
-	js.jv.vs.Complete(t.index)
+	js.jv.vs.Complete(ti)
 	// A stale dirty entry is skipped (and the flag cleared) by the next
 	// refresh walk; the membership and order lists no longer know i.
 }
@@ -118,17 +118,18 @@ func (s *Simulator) noteComplete(js *jobState, t *taskRun) {
 // happens before any of its copies run.
 func (s *Simulator) initViews(js *jobState, now float64) {
 	jv := &js.jv
-	jv.vs.Reset(len(js.phase.tasks))
+	tb := &js.tasks
+	jv.vs.Reset(js.phase.n)
 	if !s.cfg.Oracle {
 		jv.estVer = s.est.Version()
 		jv.median = s.est.NormalizedMedian()
 	}
-	for _, t := range js.phase.tasks {
-		if t.completed {
+	for i := 0; i < js.phase.n; i++ {
+		if tb.completed[i] {
 			continue
 		}
-		jv.vs.Init(s.taskView(js, t, now, true))
-		t.dirty = false
+		jv.vs.Init(s.taskView(js, i, now, true))
+		tb.dirty[i] = false
 		s.viewTouches++
 	}
 	jv.vs.Seal()
@@ -178,17 +179,18 @@ func (s *Simulator) refreshViews(js *jobState) *spec.ViewSet {
 	// per attempt), only when the normalized median actually moved, and
 	// its body is a two-multiply array patch — the tnewRescales counter in
 	// BENCH_sim.json tracks exactly this cost.
+	tb := &js.tasks
 	if !s.cfg.Oracle {
 		if ver := s.est.Version(); ver != jv.estVer {
 			if med := s.est.NormalizedMedian(); med != jv.median {
-				for _, t := range js.phase.tasks {
-					if t.completed {
+				for i := 0; i < js.phase.n; i++ {
+					if tb.completed[i] {
 						continue
 					}
-					jv.vs.SetTNewBulk(t.index, med*t.work*t.tnewBias)
+					jv.vs.SetTNewBulk(i, med*tb.work[i]*tb.tnewBias[i])
 					s.tnewRescales++
 					if jv.onTNewRefresh != nil {
-						jv.onTNewRefresh(t.index)
+						jv.onTNewRefresh(i)
 					}
 				}
 				jv.vs.ResortByTNew()
@@ -221,23 +223,22 @@ func (s *Simulator) refreshViews(js *jobState) *spec.ViewSet {
 			ri++
 			di++
 		}
-		t := js.phase.tasks[i]
-		if t.completed {
-			t.dirty = false
+		if tb.completed[i] {
+			tb.dirty[i] = false
 			continue
 		}
-		if t.dirty || (nowAdvanced && len(t.copies) > 0) {
-			jv.vs.Update(s.taskView(js, t, now, true))
-			t.dirty = false
+		if tb.dirty[i] || (nowAdvanced && len(tb.copies[i]) > 0) {
+			jv.vs.Update(s.taskView(js, i, now, true))
+			tb.dirty[i] = false
 		}
 		// The rebuild path records one pending t_rem accuracy sample per
 		// speculable running task per attempt; replay that here so the
 		// estimator's measured accuracy — and everything downstream of it
 		// — is identical. The stored view is current: a best-copy change
 		// dirties the task, and a time change refreshed it above.
-		if !s.cfg.Oracle && len(t.copies) > 0 {
+		if !s.cfg.Oracle && len(tb.copies[i]) > 0 {
 			if v := jv.vs.At(i); v.Speculable {
-				if bc := t.best; bc.pendN < len(bc.pendTRem) {
+				if bc := tb.best[i]; bc.pendN < len(bc.pendTRem) {
 					bc.pendTRem[bc.pendN] = pend{est: v.TRem, at: now}
 					bc.pendN++
 				}
@@ -256,19 +257,20 @@ func (s *Simulator) refreshViews(js *jobState) *spec.ViewSet {
 // it may draw RNG exactly where the original buildViews did (a task's
 // first t_new bias, an oracle redraw of a consumed duration factor);
 // record=false (check mode) derives the view purely from existing state.
-func (s *Simulator) taskView(js *jobState, t *taskRun, now float64, record bool) spec.TaskView {
-	v := spec.TaskView{Index: t.index}
-	if len(t.copies) > 0 {
+func (s *Simulator) taskView(js *jobState, ti int, now float64, record bool) spec.TaskView {
+	tb := &js.tasks
+	v := spec.TaskView{Index: ti}
+	if len(tb.copies[ti]) > 0 {
 		v.Running = true
-		v.Copies = len(t.copies)
+		v.Copies = len(tb.copies[ti])
 		// The earliest-finishing copy is cached on launch/completion/
 		// preemption, so deriving a view does not rescan the copies.
-		bestCopy := t.best
-		trueRem := t.bestEnd - now
+		bestCopy := tb.best[ti]
+		trueRem := tb.bestEnd[ti] - now
 		if trueRem < 0 {
 			trueRem = 0
 		}
-		v.Elapsed = now - t.firstStart
+		v.Elapsed = now - tb.firstStart[ti]
 		if bestCopy.duration > 0 {
 			p := (now - bestCopy.start) / bestCopy.duration
 			if p > 0.999 {
@@ -291,15 +293,15 @@ func (s *Simulator) taskView(js *jobState, t *taskRun, now float64, record bool)
 		}
 	}
 	if s.cfg.Oracle {
-		if record && t.nextFactor <= 0 {
-			t.nextFactor = s.drawFactor(js)
+		if record && tb.nextFactor[ti] <= 0 {
+			tb.nextFactor[ti] = s.drawFactor(js)
 		}
-		v.TNew = t.work * t.nextFactor
+		v.TNew = tb.work[ti] * tb.nextFactor[ti]
 	} else {
-		if record && t.tnewBias == 0 {
-			t.tnewBias = s.est.SampleTNewBias()
+		if record && tb.tnewBias[ti] == 0 {
+			tb.tnewBias[ti] = s.est.SampleTNewBias()
 		}
-		v.TNew = s.est.NormalizedMedian() * t.work * t.tnewBias
+		v.TNew = s.est.NormalizedMedian() * tb.work[ti] * tb.tnewBias[ti]
 	}
 	return v
 }

@@ -41,12 +41,12 @@ func TestEstimatorBumpDirtiesExactly(t *testing.T) {
 
 	incomplete := map[int]bool{}
 	tnewBefore := map[int]float64{}
-	for _, tr := range js.phase.tasks {
-		if tr.completed {
+	for i := 0; i < js.phase.n; i++ {
+		if js.tasks.completed[i] {
 			continue
 		}
-		incomplete[tr.index] = true
-		tnewBefore[tr.index] = js.jv.vs.At(tr.index).TNew
+		incomplete[i] = true
+		tnewBefore[i] = js.jv.vs.At(i).TNew
 	}
 
 	// Case 1: insert the current median back into the estimator window.

@@ -3,8 +3,22 @@
 // tie-break and a simulation clock.
 //
 // Events are arbitrary callbacks scheduled at absolute simulation times.
-// Ties are broken by insertion order (FIFO among equal timestamps) so that
-// runs are fully reproducible regardless of heap internals.
+// The total order is (Time, class, seq): ties are broken first by the
+// scheduling class (AtFirst before At) and then by insertion order (FIFO
+// among equal timestamps), so runs are fully reproducible regardless of the
+// queue's internals.
+//
+// # Queue implementations
+//
+// Two interchangeable queues implement that order. The default is a
+// calendar queue (Brown 1988): events hash into time-width buckets, a
+// cursor walks the buckets in virtual-time order, and every event sharing
+// the earliest (Time, class) key is drained in one bucket scan — O(1)
+// amortized per event against the heap's O(log n), and a single scan where
+// quantized trace timestamps make same-time batches common. A binary heap
+// remains available as the reference implementation; the differential fuzz
+// harness drives both over random interleavings and demands identical
+// behavior. Select with NewKind; New gives the default.
 //
 // # Event recycling
 //
@@ -19,9 +33,48 @@
 package simevent
 
 import (
-	"container/heap"
 	"fmt"
 )
+
+// QueueKind selects the pending-event queue implementation.
+type QueueKind uint8
+
+const (
+	// Calendar is the bucketed calendar queue — the default engine.
+	Calendar QueueKind = iota
+	// Heap is the binary-heap reference implementation the differential
+	// harness checks the calendar queue against.
+	Heap
+)
+
+// String returns the flag-friendly name of the queue kind.
+func (k QueueKind) String() string {
+	switch k {
+	case Calendar:
+		return "calendar"
+	case Heap:
+		return "heap"
+	}
+	return fmt.Sprintf("QueueKind(%d)", uint8(k))
+}
+
+// ParseQueueKind maps a flag value to a QueueKind.
+func ParseQueueKind(s string) (QueueKind, error) {
+	switch s {
+	case "calendar":
+		return Calendar, nil
+	case "heap":
+		return Heap, nil
+	}
+	return Calendar, fmt.Errorf("simevent: unknown queue kind %q (want calendar or heap)", s)
+}
+
+// Event state sentinels carried in index/bucket. A pending event in the
+// heap has index >= 0 and bucket == -1; in the calendar queue index >= 0
+// and bucket >= 0 (its bucket's position). Once popped into the engine's
+// staged batch, bucket == bucketStaged and index is the batch position, so
+// Cancel keeps working on same-time siblings that were staged together.
+const bucketStaged = -3
 
 // Event is a scheduled callback. The callback receives the engine so it can
 // schedule follow-up events.
@@ -29,27 +82,77 @@ type Event struct {
 	Time float64
 	Fn   func(*Engine)
 
-	class uint8  // tie rank: AtFirst events (0) fire before At events (1)
-	seq   uint64 // insertion order, breaks (timestamp, class) ties
-	index int    // heap index, -1 once popped or cancelled
+	seq    uint64 // insertion order, breaks (timestamp, class) ties
+	index  int    // queue position (or batch position when staged), -1 fired, -2 cancelled
+	bucket int32  // calendar bucket, -1 outside the calendar, bucketStaged in the batch
+	class  uint8  // tie rank: AtFirst events (0) fire before At events (1)
 }
 
 // Cancelled reports whether the event was removed before firing.
 func (e *Event) Cancelled() bool { return e.index == -2 }
 
-// Engine owns the event queue and the simulation clock.
-type Engine struct {
-	now    float64
-	nextSq uint64
-	queue  eventHeap
-	fired  uint64
-	free   []*Event // recycled fired/cancelled events, see package doc
+// queue is the pending-event store behind Engine. Implementations must
+// realize the (Time, class, seq) total order exactly: drainMin removes
+// every pending event sharing the earliest (Time, class) key and appends
+// them to dst in seq (FIFO) order.
+type queue interface {
+	push(ev *Event)
+	drainMin(dst []*Event) []*Event
+	remove(ev *Event)
+	len() int
 }
 
-// New returns an engine with the clock at 0.
-func New() *Engine {
-	return &Engine{}
+// eventBefore is the engine's total order: (Time, class, seq).
+func eventBefore(a, b *Event) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.class != b.class {
+		return a.class < b.class
+	}
+	return a.seq < b.seq
 }
+
+// Engine owns the event queue and the simulation clock.
+//
+// The engine drains the queue in same-(Time, class) batches: one drainMin
+// stages the whole group, and Step serves staged events one at a time, so
+// run-loop semantics (exact event limits, per-event checks) are unchanged
+// while the queue is only consulted once per batch.
+type Engine struct {
+	now        float64
+	batchTime  float64 // fire time of the staged batch (valid when batchLive > 0)
+	nextSq     uint64
+	fired      uint64
+	q          queue
+	batch      []*Event // staged same-(Time, class) events in seq order; nil = consumed
+	free       []*Event // recycled fired/cancelled events, see package doc
+	batchPos   int
+	batchLive  int // staged events not yet fired or cancelled
+	kind       QueueKind
+	batchClass uint8 // class of the staged batch (valid when batchLive > 0)
+}
+
+// New returns an engine with the clock at 0 and the default queue.
+func New() *Engine {
+	return NewKind(Calendar)
+}
+
+// NewKind returns an engine with the clock at 0 using the given queue
+// implementation.
+func NewKind(k QueueKind) *Engine {
+	e := &Engine{kind: k}
+	switch k {
+	case Heap:
+		e.q = &heapQueue{}
+	default:
+		e.q = newCalendarQueue()
+	}
+	return e
+}
+
+// Kind reports which queue implementation the engine runs on.
+func (e *Engine) Kind() QueueKind { return e.kind }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() float64 { return e.now }
@@ -58,8 +161,8 @@ func (e *Engine) Now() float64 { return e.now }
 // loop guards in tests.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Len returns the number of pending events.
-func (e *Engine) Len() int { return len(e.queue) }
+// Len returns the number of pending events (queued plus staged-unfired).
+func (e *Engine) Len() int { return e.q.len() + e.batchLive }
 
 // At schedules fn at absolute time t and returns the event handle. It panics
 // if t is before the current time — that would reorder history. The handle
@@ -93,8 +196,67 @@ func (e *Engine) schedule(t float64, class uint8, fn func(*Engine)) *Event {
 		ev = &Event{Time: t, Fn: fn, class: class, seq: e.nextSq}
 	}
 	e.nextSq++
-	heap.Push(&e.queue, ev)
+	if e.batchLive > 0 {
+		if t == e.batchTime && class == e.batchClass {
+			// Joins the staged batch directly: its seq is larger than every
+			// staged member's, so FIFO order puts it at the tail. Arrival
+			// chains at tied trace timestamps take this path.
+			ev.bucket = bucketStaged
+			ev.index = len(e.batch)
+			e.batch = append(e.batch, ev)
+			e.batchLive++
+			return ev
+		}
+		if t < e.batchTime || (t == e.batchTime && class < e.batchClass) {
+			// The new event outranks the staged batch (a bound probe can
+			// stage a batch the caller never drained): return the batch to
+			// the queue so the order stays exact.
+			e.unstage()
+		}
+	}
+	ev.bucket = -1
+	e.q.push(ev)
 	return ev
+}
+
+// unstage pushes unfired staged events back into the queue. Their original
+// seq values go with them, so re-draining reproduces the exact order.
+func (e *Engine) unstage() {
+	for _, ev := range e.batch[e.batchPos:] {
+		if ev != nil {
+			ev.bucket = -1
+			e.q.push(ev)
+		}
+	}
+	e.batch = e.batch[:0]
+	e.batchPos, e.batchLive = 0, 0
+}
+
+// ensureStaged returns the next unfired staged event, draining the next
+// same-(Time, class) group from the queue when the stage is empty. It does
+// not consume the event; nil means no events are pending.
+func (e *Engine) ensureStaged() *Event {
+	for {
+		for e.batchPos < len(e.batch) {
+			if ev := e.batch[e.batchPos]; ev != nil {
+				return ev
+			}
+			e.batchPos++
+		}
+		e.batch = e.batch[:0]
+		e.batchPos, e.batchLive = 0, 0
+		if e.q.len() == 0 {
+			return nil
+		}
+		e.batch = e.q.drainMin(e.batch)
+		for i, ev := range e.batch {
+			ev.bucket = bucketStaged
+			ev.index = i
+		}
+		e.batchLive = len(e.batch)
+		e.batchTime = e.batch[0].Time
+		e.batchClass = e.batch[0].class
+	}
 }
 
 // recycle returns a dead event to the free list. The callback reference is
@@ -113,23 +275,39 @@ func (e *Engine) After(delta float64, fn func(*Engine)) *Event {
 }
 
 // Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a no-op. Staged events — same-time siblings
+// already drained from the queue but not yet fired — cancel exactly like
+// queued ones, which is what a sibling-kill at a tied timestamp needs.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+	if ev == nil {
 		return
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -2
+	if ev.bucket == bucketStaged {
+		e.batch[ev.index] = nil
+		e.batchLive--
+		ev.index, ev.bucket = -2, -1
+		e.recycle(ev)
+		return
+	}
+	if ev.index < 0 {
+		return
+	}
+	e.q.remove(ev)
+	ev.index, ev.bucket = -2, -1
 	e.recycle(ev)
 }
 
 // Step fires the next event, advancing the clock. It returns false when the
 // queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	ev := e.ensureStaged()
+	if ev == nil {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
+	e.batch[e.batchPos] = nil
+	e.batchPos++
+	e.batchLive--
+	ev.index, ev.bucket = -1, -1
 	e.now = ev.Time
 	e.fired++
 	ev.Fn(e)
@@ -137,6 +315,28 @@ func (e *Engine) Step() bool {
 	// the handle (but must drop it afterwards — see the package doc).
 	e.recycle(ev)
 	return true
+}
+
+// StepBatch fires every event sharing the earliest pending fire time —
+// across both classes, including events the callbacks add at that same
+// time — and returns how many fired. The queue is consulted once per
+// (Time, class) group rather than once per event; it returns 0 when the
+// queue is empty.
+func (e *Engine) StepBatch() int {
+	first := e.ensureStaged()
+	if first == nil {
+		return 0
+	}
+	t := first.Time
+	n := 0
+	for {
+		ev := e.ensureStaged()
+		if ev == nil || ev.Time != t {
+			return n
+		}
+		e.Step()
+		n++
+	}
 }
 
 // Run fires events until the queue drains or until limit events have fired
@@ -181,43 +381,37 @@ func (e *Engine) RunEvery(limit, every uint64, check func() error) (uint64, erro
 // RunUntil fires events with time <= t, then advances the clock to exactly t
 // if it has not passed it. Events scheduled after t remain queued.
 func (e *Engine) RunUntil(t float64) {
-	for len(e.queue) > 0 && e.queue[0].Time <= t {
+	e.RunUntilEvery(t, 0, nil)
+}
+
+// RunUntilEvery is RunUntil with the same periodic stop check RunEvery has:
+// every `every` fired events (and once before the first) check is called; a
+// non-nil error stops the drain immediately and is returned with the queue
+// intact and the clock left at the last fired event — the bounded drain
+// equivalent of RunEvery's cancellation contract. It returns the number of
+// events fired by this call.
+func (e *Engine) RunUntilEvery(t float64, every uint64, check func() error) (uint64, error) {
+	var n uint64
+	if check != nil {
+		if err := check(); err != nil {
+			return 0, err
+		}
+	}
+	for {
+		ev := e.ensureStaged()
+		if ev == nil || ev.Time > t {
+			break
+		}
 		e.Step()
+		n++
+		if check != nil && every > 0 && n%every == 0 {
+			if err := check(); err != nil {
+				return n, err
+			}
+		}
 	}
 	if e.now < t {
 		e.now = t
 	}
-}
-
-// eventHeap orders by (Time, class, seq).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].Time != h[j].Time {
-		return h[i].Time < h[j].Time
-	}
-	if h[i].class != h[j].class {
-		return h[i].class < h[j].class
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	return n, nil
 }

@@ -6,19 +6,20 @@
 #
 #   - BenchmarkDispatch must stay at 0 allocs/op: the dispatch round has
 #     been allocation-free since PR 2.
-#   - BenchmarkSimulatorQuick's allocs/event must stay below the PR-5
-#     BENCH_sim.json figures plus a small headroom. PR 5 pooled jobState/
-#     ViewSet storage across jobs, which cut the plain variants to
-#     gs 1.603, ras 1.258, late 1.160, gs-stream 1.584 and the -inc
+#   - BenchmarkSimulatorQuick's allocs/event must stay below the PR-7
+#     BENCH_sim.json figures plus a small headroom. PR 7 moved the hot
+#     per-task run state into one struct-of-arrays block per job (no more
+#     per-phase taskRun/pointer slices), which cut the plain variants to
+#     gs 0.887, ras 0.805, late 0.682, gs-stream 0.988 and the -inc
 #     variants (incremental candidate views forced for every phase) to
-#     gs-inc 1.651, ras-inc 1.301, late-inc 1.193 — the PR-4 follow-up
-#     (~0.3 allocs/event of per-job slices) is gone. The walls sit ~5%
+#     gs-inc 0.935, ras-inc 0.849, late-inc 0.715. The walls sit ~6%
 #     above so an accidental revert of the PR-2 dispatch, PR-3 pooling,
-#     PR-4 views or PR-5 jobState recycling fails CI while normal jitter
-#     does not. These same ceilings are the "per-event ceiling at K=1"
-#     gate for the sharded engine: one partition IS the plain engine, so
-#     the plain walls hold for sharded K=1 by construction. Tighten the
-#     thresholds when BENCH_sim.json advances.
+#     PR-4 views, PR-5 jobState recycling or PR-7 task block fails CI
+#     while normal jitter does not. These same ceilings are the
+#     "per-event ceiling at K=1" gate for the sharded engine: one
+#     partition IS the plain engine, so the plain walls hold for sharded
+#     K=1 by construction. Tighten the thresholds when BENCH_sim.json
+#     advances.
 #   - BenchmarkShardedReplay's "balance" metric (Σ partition walls / max
 #     partition wall at 4 partitions) must stay ≥ 2.5: it is the
 #     machine-independent ceiling on what 4 shard workers can gain, so a
@@ -33,6 +34,11 @@
 # Usage: scripts/perfwall.sh   (from anywhere inside the repo)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Record the environment alongside the numbers: ns/op comparisons are only
+# meaningful within one machine, and the alloc gates assume the recorded
+# GOMAXPROCS (benchmark names carry a -N suffix once it exceeds 1).
+echo "perf wall env: $(go env GOVERSION) GOMAXPROCS=${GOMAXPROCS:-$(nproc)} NumCPU=$(nproc)"
 
 out=$(go test ./internal/sched -run '^$' \
 	-bench 'BenchmarkSimulatorQuick|BenchmarkDispatch' \
@@ -76,18 +82,21 @@ check() { # check <sub-benchmark> <wall>
 		echo "perf wall: $sub $v allocs/event <= $wall ok"
 	fi
 }
-check gs 1.69
-check ras 1.33
-check late 1.22
+check gs 0.94
+check ras 0.85
+check late 0.72
 # The streaming admission path (same workload via RunSource) must not
 # regress either; it shares gs's headroom.
-check gs-stream 1.67
+check gs-stream 1.05
 # The incremental-views path forced onto every phase (its small-job worst
 # case): PR 5's jobState/ViewSet pooling removed the ~0.3 allocs/event of
 # per-job slices, and these walls keep it removed.
-check gs-inc 1.74
-check ras-inc 1.37
-check late-inc 1.26
+check gs-inc 0.99
+check ras-inc 0.90
+check late-inc 0.76
+# The heap reference queue under the same workload: slightly cheaper in
+# allocs (no bucket-array resizes) but must not drift either.
+check gs-heap 0.80
 
 # Sharded execution: partition balance at 4 partitions. All three
 # workers= variants compute the identical model, so their balance samples
