@@ -8,6 +8,11 @@
 //	grass-bench -profile perf      # also write CPU/heap profiles
 //	grass-bench -jobs 1000000      # streaming replay: a million mixed jobs
 //	                               # in bounded memory, high-water reported
+//	grass-bench -trace-file fb.tsv -trace-format swim -shards 4
+//	                               # replay an imported real cluster trace
+//	                               # (SWIM/Facebook or Google task_events,
+//	                               # plain or .gz) through the same
+//	                               # bounded-memory pipeline
 //	grass-bench -jobs 1000000 -shards 4
 //	                               # the same trace partitioned 4 ways and
 //	                               # executed on 4 worker goroutines; the
@@ -41,6 +46,7 @@ import (
 	"github.com/approx-analytics/grass/internal/exp"
 	"github.com/approx-analytics/grass/internal/simevent"
 	"github.com/approx-analytics/grass/internal/trace"
+	"github.com/approx-analytics/grass/internal/traceio"
 )
 
 // main delegates to run so deferred cleanup (profile finalization) executes
@@ -57,14 +63,16 @@ func run() int {
 		workers = flag.Int("workers", 0, "concurrent simulations per experiment (0 = all cores); results are identical for any value")
 		profile = flag.String("profile", "", "write <prefix>.cpu.prof and <prefix>.mem.prof covering the runs (bare prefixes go to a temp dir)")
 
-		jobs     = flag.Int("jobs", 0, "streaming replay: replay this many jobs instead of running experiments")
-		policy   = flag.String("policy", "gs", "replay policy (see grass-sim for names)")
-		workload = flag.String("workload", "facebook", "replay workload: facebook | bing")
-		bound    = flag.String("bound", "mixed", "replay bound mode: mixed | deadline | error | exact")
-		seed     = flag.Int64("seed", 1, "replay seed")
-		shards   = flag.Int("shards", 1, "replay worker goroutines executing partitions; with -partitions set explicitly this never changes results, but when -partitions is 0 it also sets the partition count, which IS model-visible")
-		parts    = flag.Int("partitions", 0, "replay partition count — the sharded model: cluster and trace split with a deterministic merge; results are comparable only at equal partition counts (0 = same as -shards; 1 = the plain engine)")
-		queue    = flag.String("queue", "calendar", "event-queue implementation: calendar | heap; byte-identical results, calendar is faster")
+		jobs        = flag.Int("jobs", 0, "streaming replay: replay this many jobs instead of running experiments")
+		policy      = flag.String("policy", "gs", "replay policy (see grass-sim for names)")
+		workload    = flag.String("workload", "facebook", "replay workload: facebook | bing")
+		bound       = flag.String("bound", "mixed", "replay bound mode: mixed | deadline | error | exact")
+		seed        = flag.Int64("seed", 1, "replay seed")
+		traceFile   = flag.String("trace-file", "", "streaming replay of an imported real cluster trace (SWIM or Google task_events, .gz ok) instead of a synthetic workload")
+		traceFormat = flag.String("trace-format", "swim", "imported trace format: swim | google")
+		shards      = flag.Int("shards", 1, "replay worker goroutines executing partitions; with -partitions set explicitly this never changes results, but when -partitions is 0 it also sets the partition count, which IS model-visible")
+		parts       = flag.Int("partitions", 0, "replay partition count — the sharded model: cluster and trace split with a deterministic merge; results are comparable only at equal partition counts (0 = same as -shards; 1 = the plain engine)")
+		queue       = flag.String("queue", "calendar", "event-queue implementation: calendar | heap; byte-identical results, calendar is faster")
 	)
 	flag.Parse()
 
@@ -120,6 +128,31 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "grass-bench: -partitions %d: want >= 1, or 0 to follow -shards\n", *parts)
 		return 1
 	}
+	if *traceFile != "" {
+		if *fig != "" || *full {
+			fmt.Fprintln(os.Stderr, "grass-bench: -trace-file (imported replay) cannot be combined with -fig or -full")
+			return 1
+		}
+		// The imported trace IS the workload: flags that shape the
+		// synthetic trace contradict it, and silently ignoring them would
+		// replay something other than what was asked for.
+		conflict := ""
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "jobs", "workload", "bound":
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			fmt.Fprintf(os.Stderr, "grass-bench: -%s shapes the synthetic workload and cannot be combined with -trace-file (the trace defines the jobs; bounds come from the import mapping)\n", conflict)
+			return 1
+		}
+		if _, err := os.Stat(*traceFile); err != nil {
+			fmt.Fprintf(os.Stderr, "grass-bench: -trace-file: %v (give a readable SWIM or Google task_events file, optionally .gz)\n", err)
+			return 1
+		}
+		return runReplay(0, *traceFile, *traceFormat, *policy, *workload, *bound, *queue, *seed, *shards, *parts)
+	}
 	if *jobs > 0 {
 		if *fig != "" || *full {
 			fmt.Fprintln(os.Stderr, "grass-bench: -jobs (streaming replay) cannot be combined with -fig or -full")
@@ -129,7 +162,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "grass-bench: -jobs %d is fewer than -partitions %d: every partition needs at least one job\n", *jobs, *parts)
 			return 1
 		}
-		return runReplay(*jobs, *policy, *workload, *bound, *queue, *seed, *shards, *parts)
+		return runReplay(*jobs, "", "", *policy, *workload, *bound, *queue, *seed, *shards, *parts)
 	}
 
 	cfg := exp.Quick()
@@ -159,21 +192,30 @@ func run() int {
 	return 0
 }
 
-// runReplay executes one streaming replay and renders its aggregates.
-func runReplay(jobs int, policy, workload, bound, queue string, seed int64, shards, partitions int) int {
+// runReplay executes one streaming replay — synthetic (jobs > 0) or an
+// imported real trace (traceFile != "") — and renders its aggregates.
+func runReplay(jobs int, traceFile, traceFormat, policy, workload, bound, queue string, seed int64, shards, partitions int) int {
 	rc := exp.DefaultReplayConfig(jobs)
 	rc.Policy = policy
 	rc.Seed = seed
 	rc.Shards = shards
 	rc.Partitions = partitions
 	var err error
-	if rc.Workload, err = trace.ParseWorkload(workload); err != nil {
-		fmt.Fprintf(os.Stderr, "grass-bench: %v\n", err)
-		return 1
-	}
-	if rc.Bound, err = trace.ParseBound(bound); err != nil {
-		fmt.Fprintf(os.Stderr, "grass-bench: %v\n", err)
-		return 1
+	if traceFile != "" {
+		rc.TraceFile = traceFile
+		if rc.TraceFormat, err = traceio.ParseFormat(traceFormat); err != nil {
+			fmt.Fprintf(os.Stderr, "grass-bench: -trace-format: %v\n", err)
+			return 1
+		}
+	} else {
+		if rc.Workload, err = trace.ParseWorkload(workload); err != nil {
+			fmt.Fprintf(os.Stderr, "grass-bench: %v\n", err)
+			return 1
+		}
+		if rc.Bound, err = trace.ParseBound(bound); err != nil {
+			fmt.Fprintf(os.Stderr, "grass-bench: %v\n", err)
+			return 1
+		}
 	}
 	if rc.Queue, err = simevent.ParseQueueKind(queue); err != nil {
 		fmt.Fprintf(os.Stderr, "grass-bench: %v\n", err)

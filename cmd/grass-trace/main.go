@@ -1,9 +1,25 @@
-// Command grass-trace generates a synthetic workload and prints its
+// Command grass-trace generates synthetic workloads and imports real
+// cluster traces.
+//
+// With no subcommand it generates a synthetic workload and prints its
 // Table-1-style summary plus a per-job listing (optionally as JSON for
 // external tooling):
 //
 //	grass-trace -workload bing -framework spark -bound error -jobs 100
 //	grass-trace -json > trace.json
+//
+// Subcommands operate on real trace files (internal/traceio — SWIM/Facebook
+// workload files and Google cluster-data v2 task_events, plain or .gz),
+// streaming with bounded memory however large the file:
+//
+//	grass-trace validate -format swim -in fb_trace.tsv
+//	grass-trace stat     -format google -in task_events.csv.gz
+//	grass-trace convert  -format swim -in fb_trace.tsv -out jobs.json
+//
+// validate decodes every record and reports the first malformed one with
+// its file:line:column position; stat prints the Table-1-style summary of
+// the imported jobs; convert writes the simulator's JSON job form (the
+// same shape `grass-trace -json` emits) to -out or stdout.
 package main
 
 import (
@@ -14,9 +30,20 @@ import (
 
 	"github.com/approx-analytics/grass/internal/task"
 	"github.com/approx-analytics/grass/internal/trace"
+	"github.com/approx-analytics/grass/internal/traceio"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "convert", "validate", "stat":
+			if err := runImport(os.Args[1], os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "grass-trace:", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
 	var (
 		workload  = flag.String("workload", "facebook", "facebook | bing")
 		framework = flag.String("framework", "hadoop", "hadoop | spark")
@@ -29,10 +56,111 @@ func main() {
 		asJSON    = flag.Bool("json", false, "emit the full trace as JSON")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "grass-trace: unknown subcommand %q (want convert | validate | stat, or flags only for synthetic generation)\n", flag.Arg(0))
+		os.Exit(1)
+	}
 	if err := run(*workload, *framework, *bound, *jobs, *slots, *load, *dag, *seed, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "grass-trace:", err)
 		os.Exit(1)
 	}
+}
+
+// runImport executes one trace-import subcommand (convert/validate/stat)
+// with its own flag set, so import flags never collide with the synthetic
+// generator's.
+func runImport(cmd string, args []string) error {
+	fs := flag.NewFlagSet("grass-trace "+cmd, flag.ExitOnError)
+	var (
+		format       = fs.String("format", "", "trace file format: swim | google (required)")
+		in           = fs.String("in", "", "input trace file, .gz transparently decompressed (required)")
+		out          = fs.String("out", "", "convert: output JSON file (default stdout)")
+		bytesPerTask = fs.Float64("bytes-per-task", 128<<20, "input bytes per map task (the HDFS split size)")
+		workScale    = fs.Float64("work-scale", 10, "intrinsic work of one full task, simulation units")
+		timeScale    = fs.Float64("time-scale", 0, "trace time units to simulation units (0 = format default: SWIM seconds 1:1, Google microseconds 1e-6)")
+		boundMode    = fs.String("bound", "mixed", "bound assignment for imported jobs: mixed | deadline | error | exact")
+		slots        = fs.Int("slots", 400, "cluster slots used to calibrate assigned deadlines")
+		seed         = fs.Int64("seed", 1, "bound-assignment seed")
+		maxTasks     = fs.Int("max-tasks", 100_000, "reject records mapping to more tasks than this")
+	)
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		return fmt.Errorf("%s: unexpected argument %q (all inputs are flags)", cmd, fs.Arg(0))
+	}
+	if *in == "" {
+		return fmt.Errorf("%s: -in is required (the trace file to read)", cmd)
+	}
+	if *format == "" {
+		return fmt.Errorf("%s: -format is required (swim | google)", cmd)
+	}
+	f, err := traceio.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stat(*in); err != nil {
+		return fmt.Errorf("%s: %w (give a readable trace file)", cmd, err)
+	}
+	o := traceio.DefaultOptions()
+	o.BytesPerTask = *bytesPerTask
+	o.WorkScale = *workScale
+	o.TimeScale = *timeScale
+	o.Slots = *slots
+	o.Seed = *seed
+	o.MaxTasks = *maxTasks
+	if o.Bound, err = trace.ParseBound(*boundMode); err != nil {
+		return err
+	}
+	if err := o.Validate(); err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "validate", "stat":
+		st, err := traceio.Scan(nil, *in, f, o)
+		if err != nil {
+			return err
+		}
+		if st.Jobs == 0 {
+			return fmt.Errorf("%s: %s contains no jobs (empty or comment-only trace)", cmd, *in)
+		}
+		if cmd == "validate" {
+			fmt.Printf("%s: OK: %d jobs, %d tasks\n", *in, st.Jobs, st.Tasks)
+			return nil
+		}
+		fmt.Printf("format=%s jobs=%d tasks=%d meanTasks=%.1f span=%.1f totalWork=%.0f reduceJobs=%d\n",
+			f, st.Jobs, st.Tasks, st.MeanTasks, st.Span, st.TotalWork, st.Phases)
+		for i, bin := range task.AllBins {
+			fmt.Printf("  bin %-8s %d jobs\n", bin, st.Bins[i])
+		}
+		return nil
+	case "convert":
+		src, err := traceio.NewSource(nil, *in, f, o)
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		w := os.Stdout
+		if *out != "" {
+			w, err = os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer w.Close()
+		}
+		n, err := traceio.WriteJobsJSON(w, src)
+		if err != nil {
+			return err
+		}
+		if serr := src.Err(); serr != nil {
+			return serr
+		}
+		if n == 0 {
+			return fmt.Errorf("convert: %s contains no jobs (empty or comment-only trace)", *in)
+		}
+		fmt.Fprintf(os.Stderr, "converted %d jobs\n", n)
+		return nil
+	}
+	return fmt.Errorf("unknown subcommand %q", cmd)
 }
 
 func run(workload, framework, bound string, jobs, slots int, load float64, dag int, seed int64, asJSON bool) error {

@@ -29,6 +29,7 @@ package grass
 import (
 	"context"
 	"fmt"
+	"io/fs"
 
 	"github.com/approx-analytics/grass/internal/cluster"
 	"github.com/approx-analytics/grass/internal/core"
@@ -40,6 +41,7 @@ import (
 	"github.com/approx-analytics/grass/internal/spec"
 	"github.com/approx-analytics/grass/internal/task"
 	"github.com/approx-analytics/grass/internal/trace"
+	"github.com/approx-analytics/grass/internal/traceio"
 )
 
 // Core domain types.
@@ -468,4 +470,60 @@ func SpeedupPct(base, treat []JobResult) float64 {
 // FilterBin keeps the results of one job-size bin.
 func FilterBin(rs []JobResult, b SizeBin) []JobResult {
 	return metrics.FilterBin(rs, b)
+}
+
+// Real-trace import (package traceio): typed, validating, streaming readers
+// for production cluster logs, decoding into the same Job model the
+// synthetic generators produce.
+type (
+	// TraceFormat identifies a supported real-trace file format.
+	TraceFormat = traceio.Format
+	// ImportOptions maps raw trace records onto the simulator's job model
+	// (bytes per task, work scale, time scale, bound assignment).
+	ImportOptions = traceio.Options
+	// ImportStats summarizes a validation pass over an imported trace.
+	ImportStats = traceio.ScanStats
+	// ImportSource streams an imported trace as jobs in arrival order; it
+	// implements JobSource, so SimulateSource replays real traces in
+	// bounded memory. Check Err after the stream ends.
+	ImportSource = traceio.Source
+	// TracePosition locates a record (file, 1-based line, column) in an
+	// imported trace; every import decode error carries one.
+	TracePosition = traceio.Position
+	// TraceDecodeError is a positioned import failure (errors.As target).
+	TraceDecodeError = traceio.DecodeError
+)
+
+// Supported real-trace formats.
+const (
+	// SWIMTrace is the SWIM / Facebook workload-repository format: one job
+	// per tab-separated line (id, submit time, inter-arrival, map input
+	// bytes, shuffle bytes, output bytes).
+	SWIMTrace = traceio.SWIM
+	// GoogleTrace is the Google cluster-data v2 task_events table: one CSV
+	// row per task event, grouped into jobs by SUBMIT events.
+	GoogleTrace = traceio.GoogleTaskEvents
+)
+
+// ParseTraceFormat maps a flag value ("swim" | "google") to a TraceFormat.
+func ParseTraceFormat(s string) (TraceFormat, error) { return traceio.ParseFormat(s) }
+
+// DefaultImportOptions returns the documented default record→job mapping
+// (128 MiB splits, §6.1-style mixed bounds).
+func DefaultImportOptions() ImportOptions { return traceio.DefaultOptions() }
+
+// ImportTrace opens a real cluster-trace file (".gz" transparently
+// decompressed) and streams its jobs in arrival order with bounded memory.
+// fsys nil means the host filesystem. Close the source when done; after the
+// stream ends, its Err method reports the positioned decode error that cut
+// it short, if any — run ScanTrace first to validate a file up front.
+func ImportTrace(fsys fs.FS, path string, format TraceFormat, o ImportOptions) (*ImportSource, error) {
+	return traceio.NewSource(fsys, path, format, o)
+}
+
+// ScanTrace validates every record of a trace file in bounded memory
+// without simulating, returning summary statistics. The first malformed
+// record fails with a TraceDecodeError carrying its file:line:column.
+func ScanTrace(fsys fs.FS, path string, format TraceFormat, o ImportOptions) (*ImportStats, error) {
+	return traceio.Scan(fsys, path, format, o)
 }

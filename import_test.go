@@ -1,0 +1,77 @@
+package grass_test
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	grass "github.com/approx-analytics/grass"
+)
+
+// TestImportTraceFacade drives the public real-trace import surface end to
+// end: scan a vendored SWIM sample, stream it through SimulateSource, and
+// check the error path reports positioned decode failures.
+func TestImportTraceFacade(t *testing.T) {
+	fsys := os.DirFS("internal/traceio/testdata/samples")
+	const sample = "swim_fb_sample.tsv"
+
+	f, err := grass.ParseTraceFormat("swim")
+	if err != nil || f != grass.SWIMTrace {
+		t.Fatalf("ParseTraceFormat(swim) = %v, %v", f, err)
+	}
+	st, err := grass.ScanTrace(fsys, sample, f, grass.DefaultImportOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Jobs != 2000 {
+		t.Fatalf("scanned %d jobs, want 2000", st.Jobs)
+	}
+
+	src, err := grass.ImportTrace(fsys, sample, f, grass.DefaultImportOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if testing.Short() {
+		// Decode-only under -short: count the stream without simulating.
+		n := 0
+		for {
+			j, ok := src.Next()
+			if !ok {
+				break
+			}
+			n++
+			src.Release(j)
+		}
+		if src.Err() != nil || n != st.Jobs {
+			t.Fatalf("streamed %d jobs (err %v), want %d", n, src.Err(), st.Jobs)
+		}
+		return
+	}
+	cfg := smallSim(1)
+	rs, err := grass.SimulateSource(cfg, "nospec", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Err() != nil {
+		t.Fatalf("stream error after replay: %v", src.Err())
+	}
+	if len(rs.Results) != st.Jobs {
+		t.Fatalf("simulated %d jobs, want %d", len(rs.Results), st.Jobs)
+	}
+
+	// The positioned-error contract through the facade types.
+	bad := os.DirFS("internal/traceio/testdata/fuzz/FuzzTraceioDecode")
+	if _, err := grass.ScanTrace(bad, "seed_swim_truncated", grass.SWIMTrace, grass.DefaultImportOptions()); err == nil {
+		t.Fatal("scanning a corpus seed file (corpus header line) should fail")
+	} else {
+		var de *grass.TraceDecodeError
+		if !errors.As(err, &de) {
+			t.Fatalf("scan error %T is not a *TraceDecodeError: %v", err, err)
+		}
+		if de.Pos.Line < 1 || !strings.Contains(err.Error(), ":") {
+			t.Fatalf("decode error lacks a position: %v", err)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package exp
+
+// raceEnabled lets scale-sensitive tests shrink under the race detector's
+// ~10x slowdown without losing their assertions.
+const raceEnabled = true

@@ -10,6 +10,7 @@ package exp
 // memory back to the trace length are visible immediately.
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -22,6 +23,7 @@ import (
 	"github.com/approx-analytics/grass/internal/spec"
 	"github.com/approx-analytics/grass/internal/task"
 	"github.com/approx-analytics/grass/internal/trace"
+	"github.com/approx-analytics/grass/internal/traceio"
 )
 
 // ReplayConfig parameterizes one streaming replay.
@@ -63,6 +65,27 @@ type ReplayConfig struct {
 	// when Partitions is 0 it also sets the partition count, which is
 	// model-visible; 0 means 1.
 	Shards int
+
+	// TraceFile, when non-empty, replays an imported real cluster trace
+	// (internal/traceio) instead of a synthetic one: TraceFormat selects
+	// the decoder, TraceOptions the record→job mapping rules (nil means
+	// traceio.DefaultOptions). The file is scanned once up front — every
+	// record validated with positioned errors, the job count established
+	// for the sharded merge — then streamed per partition, so a multi-GB
+	// log replays in the same bounded memory as a synthetic stream. Jobs,
+	// Workload, Framework and Bound are ignored (the trace is the
+	// workload; bounds come from TraceOptions).
+	TraceFile    string
+	TraceFormat  traceio.Format
+	TraceOptions *traceio.Options
+
+	// NewSource, when set, replays fully custom admission sources:
+	// NewSource(p, parts) must return partition p's jobs — dense IDs
+	// ≡ p (mod parts), non-decreasing arrivals — and Jobs must hold the
+	// exact total job count. Overrides both the synthetic trace and
+	// TraceFile. Mainly for tests (e.g. bounded-memory harnesses feeding
+	// synthesized trace bytes through the import decoder).
+	NewSource func(part, parts int) (sched.Source, error)
 }
 
 // DefaultReplayConfig returns a mixed Facebook/Hadoop replay of n jobs —
@@ -195,8 +218,11 @@ func (w *memWatch) finish() (heap, sys uint64) {
 // generated lazily with finished jobs recycled, results are folded as they
 // arrive, and the simulator's own state tracks the in-flight set.
 func Replay(cfg ReplayConfig) (*ReplayStats, error) {
-	if cfg.Jobs <= 0 {
+	if cfg.Jobs <= 0 && cfg.TraceFile == "" && cfg.NewSource == nil {
 		return nil, fmt.Errorf("exp: replay of %d jobs", cfg.Jobs)
+	}
+	if cfg.NewSource != nil && cfg.Jobs <= 0 {
+		return nil, fmt.Errorf("exp: a custom NewSource replay needs the exact job count (got %d)", cfg.Jobs)
 	}
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("exp: %d shards (want >= 1, or 0 for the default single worker)", cfg.Shards)
@@ -225,6 +251,34 @@ func Replay(cfg ReplayConfig) (*ReplayStats, error) {
 	}
 	if cfg.Partitions == 0 {
 		cfg.Partitions = cfg.Shards
+	}
+
+	// Resolve the admission source: custom > imported trace file >
+	// synthetic stream. Imported traces are scanned first — a full
+	// streaming validation pass — so a malformed record fails here with
+	// its file:line position instead of surfacing as a truncated replay,
+	// and so the job count is known for the sharded merge.
+	newSource := cfg.NewSource
+	var imported *importedSources
+	if newSource == nil && cfg.TraceFile != "" {
+		opts := traceio.DefaultOptions()
+		if cfg.TraceOptions != nil {
+			opts = *cfg.TraceOptions
+		}
+		scan, err := traceio.Scan(nil, cfg.TraceFile, cfg.TraceFormat, opts)
+		if err != nil {
+			return nil, err
+		}
+		if scan.Jobs == 0 {
+			return nil, fmt.Errorf("exp: %s contains no jobs (empty or comment-only trace)", cfg.TraceFile)
+		}
+		if scan.Jobs < cfg.Partitions {
+			return nil, fmt.Errorf("exp: %s has %d jobs, fewer than %d partitions (every partition needs at least one job)",
+				cfg.TraceFile, scan.Jobs, cfg.Partitions)
+		}
+		cfg.Jobs = scan.Jobs
+		imported = &importedSources{file: cfg.TraceFile, format: cfg.TraceFormat, opts: opts}
+		newSource = imported.open
 	}
 
 	tc := trace.DefaultConfig(cfg.Workload, cfg.Framework, cfg.Bound)
@@ -266,6 +320,11 @@ func Replay(cfg ReplayConfig) (*ReplayStats, error) {
 	// count. Partitions == 1 takes RunSharded's plain-engine reduction, so
 	// an unsharded replay is exactly the pre-sharding pipeline.
 	walls := make([]time.Duration, cfg.Partitions)
+	if newSource == nil {
+		newSource = func(p, parts int) (sched.Source, error) {
+			return trace.NewShardStream(tc, p, parts)
+		}
+	}
 	run := sched.ShardedRun{
 		Config:  scfg,
 		Parts:   cfg.Partitions,
@@ -275,7 +334,7 @@ func Replay(cfg ReplayConfig) (*ReplayStats, error) {
 			return f, err
 		},
 		NewSource: func(p int) (sched.Source, error) {
-			return trace.NewShardStream(tc, p, cfg.Partitions)
+			return newSource(p, cfg.Partitions)
 		},
 		OnResult: fold,
 		Jobs:     cfg.Jobs,
@@ -288,6 +347,12 @@ func Replay(cfg ReplayConfig) (*ReplayStats, error) {
 	rs.Wall = time.Since(t0)
 	rs.ShardWalls = walls
 	rs.HeapHighWater, rs.HeapSysHighWater = watch.finish()
+	if imported != nil {
+		// A decode error during the replay itself (the file changed since
+		// the scan, a read failure mid-stream) surfaces as a truncated
+		// partition; the source's own positioned error is the diagnosis.
+		err = imported.close(err)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -301,4 +366,48 @@ func Replay(cfg ReplayConfig) (*ReplayStats, error) {
 		rs.MeanInputDur = durSum / float64(rs.ErrorJobs)
 	}
 	return rs, nil
+}
+
+// importedSources tracks the per-partition trace readers of an imported
+// replay so their file handles close and their positioned decode errors
+// win over the generic "partition finished early" merge error. Partition
+// workers open sources concurrently, hence the lock.
+type importedSources struct {
+	file   string
+	format traceio.Format
+	opts   traceio.Options
+
+	mu      sync.Mutex
+	readers []*traceio.Source
+}
+
+// open builds partition p's shard reader (jobs with dense ID ≡ p mod parts).
+func (s *importedSources) open(p, parts int) (sched.Source, error) {
+	src, err := traceio.NewShardSource(nil, s.file, s.format, s.opts, p, parts)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.readers = append(s.readers, src)
+	s.mu.Unlock()
+	return src, nil
+}
+
+// close closes every reader and resolves the replay error: a reader's own
+// positioned DecodeError is strictly more useful than runErr's echo of the
+// truncated stream, so it takes precedence.
+func (s *importedSources) close(runErr error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := runErr
+	for _, src := range s.readers {
+		if serr := src.Err(); serr != nil {
+			var de *traceio.DecodeError
+			if errors.As(serr, &de) || err == nil {
+				err = serr
+			}
+		}
+		src.Close()
+	}
+	return err
 }

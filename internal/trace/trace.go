@@ -281,6 +281,17 @@ func sampleSize(cfg Config, rng *dist.RNG) int {
 	return n
 }
 
+// AssignBound sets the job's approximation bound per §6.1 — the same rules
+// synthetic generation uses, exported so trace importers (internal/traceio)
+// can bound real-trace jobs identically: MixedBound draws the class first
+// (45% deadline / 45% error / 10% exact), error bounds are uniform in
+// cfg.ErrorRange, and deadlines sit a uniform cfg.DeadlineFactorRange factor
+// over the job's calibrated ideal duration on a cfg.Slots-slot cluster.
+// Only Bound, ErrorRange, DeadlineFactorRange and Slots are consulted.
+func AssignBound(cfg Config, j *task.Job, rng *dist.RNG) {
+	assignBound(cfg, j, rng)
+}
+
 // assignBound sets the job's approximation bound per §6.1.
 func assignBound(cfg Config, j *task.Job, rng *dist.RNG) {
 	switch cfg.Bound {
@@ -328,6 +339,23 @@ func assignBound(cfg Config, j *task.Job, rng *dist.RNG) {
 	}
 }
 
+// Source is the streaming admission contract a workload generator or
+// importer satisfies: jobs one at a time, in non-decreasing arrival order.
+// It is structurally identical to sched.Source — Stream implements it, and
+// so do internal/traceio's real-trace readers — declared here too so trace
+// consumers (summaries, converters) need not depend on the scheduler.
+type Source interface {
+	// Next returns the next job, or (nil, false) when the trace ends.
+	Next() (*task.Job, bool)
+}
+
+// Releaser is the job-recycling half of the contract, mirroring
+// sched.Releaser: a source that implements it gets each job handed back
+// once the consumer is done with it.
+type Releaser interface {
+	Release(*task.Job)
+}
+
 // Stats summarizes a generated trace — the content of Table 1.
 type Stats struct {
 	Workload   Workload
@@ -348,14 +376,40 @@ func Summarize(cfg Config, jobs []*task.Job) Stats {
 		BinCounts: make(map[task.SizeBin]int),
 	}
 	for _, j := range jobs {
-		s.TotalTasks += j.NumTasks()
-		s.BinCounts[j.Bin()]++
-		if j.Arrival > s.Span {
-			s.Span = j.Arrival
-		}
-	}
-	if len(jobs) > 0 {
-		s.MeanTasks = float64(s.TotalTasks) / float64(len(jobs))
+		s.fold(j)
 	}
 	return s
+}
+
+// SummarizeSource drains src and computes the same statistics Summarize
+// does, in bounded memory: each job is folded into the running aggregates
+// and — when src recycles (Releaser) — handed straight back, so a multi-GB
+// imported trace summarizes while holding one job at a time. Workload and
+// Framework are left zero; imported traces carry neither.
+func SummarizeSource(src Source) Stats {
+	s := Stats{BinCounts: make(map[task.SizeBin]int)}
+	rel, _ := src.(Releaser)
+	for {
+		j, ok := src.Next()
+		if !ok {
+			return s
+		}
+		s.Jobs++
+		s.fold(j)
+		if rel != nil {
+			rel.Release(j)
+		}
+	}
+}
+
+// fold accumulates one job into the summary.
+func (s *Stats) fold(j *task.Job) {
+	s.TotalTasks += j.NumTasks()
+	s.BinCounts[j.Bin()]++
+	if j.Arrival > s.Span {
+		s.Span = j.Arrival
+	}
+	if s.Jobs > 0 {
+		s.MeanTasks = float64(s.TotalTasks) / float64(s.Jobs)
+	}
 }

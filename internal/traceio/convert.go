@@ -1,0 +1,50 @@
+package traceio
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	"github.com/approx-analytics/grass/internal/trace"
+)
+
+// WriteJobsJSON streams src to w as a JSON array of simulator jobs — the
+// same shape `grass-trace -json` emits for synthetic traces, so external
+// tooling consumes converted real traces and generated ones identically.
+// The array is written one job at a time (released back to a recycling
+// source as it goes), so converting a multi-GB trace holds one job in
+// memory. Returns the number of jobs written.
+func WriteJobsJSON(w io.Writer, src trace.Source) (int, error) {
+	bw := bufio.NewWriter(w)
+	rel, _ := src.(trace.Releaser)
+	n := 0
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return n, err
+	}
+	for {
+		j, ok := src.Next()
+		if !ok {
+			break
+		}
+		if n > 0 {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return n, err
+			}
+		}
+		b, err := json.Marshal(j)
+		if rel != nil {
+			rel.Release(j)
+		}
+		if err != nil {
+			return n, err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}

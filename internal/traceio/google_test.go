@@ -1,0 +1,216 @@
+package traceio
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func googleSource(text string, o Options) *Source {
+	return NewReaderSource(strings.NewReader(text), "events.csv", GoogleTaskEvents, o)
+}
+
+// row builds one task_events CSV line (13 columns, v2 schema).
+func row(ts float64, job string, idx, evt int, cpu string) string {
+	return fmt.Sprintf("%.0f,,%s,%d,,%d,user,1,5,%s,0.01,0.0001,0", ts, job, idx, evt, cpu)
+}
+
+func TestGoogleGroupingAndMapping(t *testing.T) {
+	o := DefaultOptions()
+	o.CloseGapUS = 10e6 // 10 s window
+	text := strings.Join([]string{
+		row(1e6, "jobA", 0, 0, "0.5"),
+		row(1e6, "jobA", 1, 0, "0.25"),
+		row(2e6, "jobB", 0, 0, ""),    // absent CPU -> floor work
+		row(3e6, "jobA", 1, 0, "0.9"), // resubmit: first submit wins
+		row(4e6, "jobA", 2, 0, "1.0"),
+		row(5e6, "jobA", 0, 1, "0.5"),    // SCHEDULE: ignored for task set
+		row(30e6, "jobC", 0, 0, "0.125"), // 30s: closes A and B
+		row(50e6, "jobC", 1, 0, "0.125"),
+	}, "\n") + "\n"
+
+	jobs := drain(t, googleSource(text, o))
+	if len(jobs) != 3 {
+		t.Fatalf("grouped %d jobs, want 3", len(jobs))
+	}
+
+	a, b, c := jobs[0], jobs[1], jobs[2]
+	if a.ID != 0 || b.ID != 1 || c.ID != 2 {
+		t.Errorf("dense IDs = %d,%d,%d, want 0,1,2 in arrival order", a.ID, b.ID, c.ID)
+	}
+	if a.Arrival != 1.0 || b.Arrival != 2.0 || c.Arrival != 30.0 {
+		t.Errorf("arrivals = %v,%v,%v, want 1,2,30 (microseconds × 1e-6)", a.Arrival, b.Arrival, c.Arrival)
+	}
+	// jobA: indexes 0,1,2 -> work 10×{0.5, 0.25 (first submit), 1.0}.
+	wantA := []float64{5, 2.5, 10}
+	if len(a.InputWork) != 3 {
+		t.Fatalf("jobA has %d tasks, want 3 distinct submitted indexes", len(a.InputWork))
+	}
+	for i, w := range wantA {
+		if math.Abs(a.InputWork[i]-w) > 1e-9 {
+			t.Errorf("jobA task %d work = %v, want %v (index-ordered, first submit wins)", i, a.InputWork[i], w)
+		}
+	}
+	floor := o.WorkScale * o.MinWorkFrac
+	if len(b.InputWork) != 1 || b.InputWork[0] != floor {
+		t.Errorf("jobB (absent CPU) work = %v, want one task at the %v floor", b.InputWork, floor)
+	}
+	if len(c.InputWork) != 2 {
+		t.Errorf("jobC has %d tasks, want 2", len(c.InputWork))
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Errorf("job %d invalid after mapping: %v", j.ID, err)
+		}
+	}
+}
+
+// TestGoogleArrivalOrder pins the emission contract: jobs come out sorted
+// by (first-submit time, first-seen order) even when close order differs.
+func TestGoogleArrivalOrder(t *testing.T) {
+	o := DefaultOptions()
+	o.CloseGapUS = 100e6
+	// jobEarly opens first but keeps gaining submits; jobLate opens later
+	// and closes first. Emission must still be jobEarly, jobLate.
+	text := strings.Join([]string{
+		row(1e6, "jobEarly", 0, 0, "0.1"),
+		row(2e6, "jobLate", 0, 0, "0.1"),
+		row(90e6, "jobEarly", 1, 0, "0.1"),
+		row(150e6, "jobEarly", 2, 0, "0.1"), // jobLate now closed, jobEarly open
+		row(400e6, "tail", 0, 0, "0.1"),     // closes everything
+	}, "\n") + "\n"
+	jobs := drain(t, googleSource(text, o))
+	if len(jobs) != 3 {
+		t.Fatalf("grouped %d jobs, want 3", len(jobs))
+	}
+	prev := math.Inf(-1)
+	for _, j := range jobs {
+		if j.Arrival < prev {
+			t.Fatalf("arrival order violated: job %d at %v after %v", j.ID, j.Arrival, prev)
+		}
+		prev = j.Arrival
+	}
+	if len(jobs[0].InputWork) != 3 {
+		t.Errorf("first job has %d tasks, want jobEarly's 3", len(jobs[0].InputWork))
+	}
+}
+
+func TestGoogleDecodeErrors(t *testing.T) {
+	ok := row(1e6, "okjob", 0, 0, "0.5")
+	cases := []struct {
+		name     string
+		text     string
+		wantLine int
+		wantSub  string
+	}{
+		{
+			name:     "wrong field count",
+			text:     ok + "\n1000,only,three\n",
+			wantLine: 2,
+			wantSub:  "has 3 fields, want 13",
+		},
+		{
+			name:     "bad timestamp",
+			text:     strings.Replace(ok, "1000000", "soon", 1) + "\n",
+			wantLine: 1,
+			wantSub:  `bad timestamp "soon"`,
+		},
+		{
+			name:     "negative timestamp",
+			text:     row(1e6, "a", 0, 0, "0.5") + "\n" + strings.Replace(row(1e6, "b", 0, 0, "0.5"), "1000000", "-5", 1) + "\n",
+			wantLine: 2,
+			wantSub:  "out of range",
+		},
+		{
+			name:     "non-monotone timestamps",
+			text:     row(9e6, "a", 0, 0, "0.5") + "\n" + row(8e6, "b", 0, 0, "0.5") + "\n",
+			wantLine: 2,
+			wantSub:  "must be sorted by timestamp",
+		},
+		{
+			name:     "empty job id",
+			text:     row(1e6, "", 0, 0, "0.5") + "\n",
+			wantLine: 1,
+			wantSub:  "empty job id",
+		},
+		{
+			name:     "negative task index",
+			text:     row(1e6, "a", -3, 0, "0.5") + "\n",
+			wantLine: 1,
+			wantSub:  "negative task index",
+		},
+		{
+			name:     "event type out of range",
+			text:     row(1e6, "a", 0, 11, "0.5") + "\n",
+			wantLine: 1,
+			wantSub:  "event type 11 out of",
+		},
+		{
+			name:     "CPU request over 1",
+			text:     row(1e6, "a", 0, 0, "1.5") + "\n",
+			wantLine: 1,
+			wantSub:  "CPU request 1.5 out of [0, 1]",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := googleSource(tc.text, DefaultOptions())
+			for {
+				j, live := src.Next()
+				if !live {
+					break
+				}
+				src.Release(j)
+			}
+			err := src.Err()
+			if err == nil {
+				t.Fatal("decode succeeded, want a positioned error")
+			}
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("error %T is not a *DecodeError: %v", err, err)
+			}
+			if de.Pos.File != "events.csv" || de.Pos.Line != tc.wantLine {
+				t.Errorf("error at %s, want events.csv:%d", de.Pos, tc.wantLine)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), fmt.Sprintf("events.csv:%d", tc.wantLine)) {
+				t.Errorf("error text %q does not render the file:line position", err)
+			}
+		})
+	}
+}
+
+// TestGoogleHugeTaskCount pins the MaxTasks guard on the grouped task set.
+func TestGoogleHugeTaskCount(t *testing.T) {
+	o := DefaultOptions()
+	o.MaxTasks = 3
+	var b strings.Builder
+	for i := 0; i < 5; i++ {
+		b.WriteString(row(1e6, "big", i, 0, "0.5"))
+		b.WriteByte('\n')
+	}
+	src := googleSource(b.String(), o)
+	for {
+		j, live := src.Next()
+		if !live {
+			break
+		}
+		src.Release(j)
+	}
+	err := src.Err()
+	var de *DecodeError
+	if err == nil || !errors.As(err, &de) {
+		t.Fatalf("want a positioned DecodeError for >MaxTasks submits, got %v", err)
+	}
+	if de.Pos.Line != 4 {
+		t.Errorf("error at line %d, want 4 (the submit that crossed the limit)", de.Pos.Line)
+	}
+	if !strings.Contains(err.Error(), "over 3 submitted tasks") {
+		t.Errorf("error %q does not name the limit", err)
+	}
+}

@@ -1,0 +1,145 @@
+//go:build ignore
+
+// gen regenerates the vendored sample traces CI replays end to end:
+//
+//	go run internal/traceio/testdata/gen.go internal/traceio/testdata/samples
+//
+// The samples are deterministic (fixed seeds) stand-ins for the public
+// SWIM Facebook workload samples and the Google cluster-data v2
+// task_events table: same schema, same sortedness, similar size/shape
+// mixes, small enough to vendor (~2K SWIM records, ~5K Google records).
+// Regenerating with an unchanged seed reproduces the files byte for byte.
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/approx-analytics/grass/internal/dist"
+)
+
+func main() {
+	dir := "."
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "swim_fb_sample.tsv"), swim(), 0o644); err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "google_task_events_sample.csv.gz"), gzipped(google()), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", filepath.Join(dir, "swim_fb_sample.tsv"), "and", filepath.Join(dir, "google_task_events_sample.csv.gz"))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gen:", err)
+	os.Exit(1)
+}
+
+// swim writes ~2000 SWIM records: job_id, submit_s, gap_s, map_bytes,
+// shuffle_bytes, output_bytes — sorted by submission time, sizes
+// log-uniform from 1 MiB to 32 GiB (so task counts span the paper's three
+// bins under the 128 MiB split rule), arrivals spaced for ~0.6 offered
+// load on the default 400-slot replay cluster.
+func swim() []byte {
+	const jobs = 2000
+	rng := dist.NewRNG(42)
+	var buf bytes.Buffer
+	buf.WriteString("# SWIM/Facebook-style sample workload (synthetic, deterministic; see gen.go)\n")
+	buf.WriteString("# job_id\tsubmit_s\tgap_s\tmap_input_bytes\tshuffle_bytes\toutput_bytes\n")
+	now := 0.0
+	for i := 0; i < jobs; i++ {
+		lgLo, lgHi := math.Log(1<<20), math.Log(32<<30)
+		mapBytes := math.Exp(lgLo + rng.Float64()*(lgHi-lgLo))
+		shuffle := 0.0
+		if rng.Float64() < 0.6 {
+			shuffle = mapBytes * (0.1 + 0.4*rng.Float64())
+		}
+		output := shuffle * (0.2 + 0.8*rng.Float64())
+		tasks := math.Max(1, math.Ceil(mapBytes/float64(128<<20)))
+		work := tasks * 10 // WorkScale default
+		spacing := work * 1.75 / (400 * 0.6)
+		gap := dist.Exponential{Mu: spacing}.Sample(rng)
+		// Fixed-point rendering keeps the file byte-stable across platforms.
+		fmt.Fprintf(&buf, "job%04d\t%.3f\t%.3f\t%.0f\t%.0f\t%.0f\n",
+			i, now, gap, mapBytes, shuffle, output)
+		now += gap
+	}
+	return buf.Bytes()
+}
+
+// google writes ~5000 Google cluster-data v2 task_events rows across ~400
+// jobs: per-task SUBMIT rows (plus interleaved SCHEDULE rows and duplicate
+// resubmits, both of which the importer must handle), globally sorted by
+// microsecond timestamp, CPU requests in [0.05, 0.8] with ~10% absent.
+func google() []byte {
+	const jobs = 400
+	rng := dist.NewRNG(43)
+	type row struct {
+		ts   float64
+		text string
+	}
+	var rows []row
+	emit := func(ts float64, s string) { rows = append(rows, row{ts, s}) }
+	now := 0.0
+	for jb := 0; jb < jobs; jb++ {
+		now += dist.Exponential{Mu: 9e6}.Sample(rng) // ~9s mean spacing
+		jobID := fmt.Sprintf("%d", 6250000000+jb*7)
+		nTasks := int(math.Exp(rng.Float64() * math.Log(100)))
+		if nTasks < 1 {
+			nTasks = 1
+		}
+		user := fmt.Sprintf("u%03d", rng.Intn(50))
+		class := rng.Intn(4)
+		prio := rng.Intn(12)
+		for t := 0; t < nTasks; t++ {
+			ts := now + rng.Float64()*2e6 // submits burst within ~2s
+			cpu := ""
+			if rng.Float64() >= 0.1 {
+				cpu = fmt.Sprintf("%.4f", 0.05+0.75*rng.Float64())
+			}
+			mem := fmt.Sprintf("%.4f", 0.01+0.2*rng.Float64())
+			emit(ts, fmt.Sprintf("%.0f,,%s,%d,,0,%s,%d,%d,%s,%s,0.0001,0",
+				ts, jobID, t, user, class, prio, cpu, mem))
+			if rng.Float64() < 0.05 { // resubmit of the same index
+				emit(ts+1e5, fmt.Sprintf("%.0f,,%s,%d,,0,%s,%d,%d,%s,%s,0.0001,0",
+					ts+1e5, jobID, t, user, class, prio, cpu, mem))
+			}
+			if rng.Float64() < 0.3 { // a later SCHEDULE row (skipped)
+				sts := ts + 3e6 + rng.Float64()*1e6
+				emit(sts, fmt.Sprintf("%.0f,,%s,%d,4155527081,1,%s,%d,%d,%s,%s,0.0001,0",
+					sts, jobID, t, user, class, prio, cpu, mem))
+			}
+		}
+	}
+	sort.SliceStable(rows, func(a, b int) bool { return rows[a].ts < rows[b].ts })
+	var buf bytes.Buffer
+	for _, r := range rows {
+		buf.WriteString(r.text)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// gzipped compresses b with fixed gzip settings (no mod time, no name), so
+// regeneration is byte-stable.
+func gzipped(b []byte) []byte {
+	var buf bytes.Buffer
+	zw, _ := gzip.NewWriterLevel(&buf, gzip.BestCompression)
+	if _, err := zw.Write(b); err != nil {
+		fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		fatal(err)
+	}
+	return buf.Bytes()
+}
