@@ -73,6 +73,8 @@ func run() int {
 		shards      = flag.Int("shards", 1, "replay worker goroutines executing partitions; with -partitions set explicitly this never changes results, but when -partitions is 0 it also sets the partition count, which IS model-visible")
 		parts       = flag.Int("partitions", 0, "replay partition count — the sharded model: cluster and trace split with a deterministic merge; results are comparable only at equal partition counts (0 = same as -shards; 1 = the plain engine)")
 		queue       = flag.String("queue", "calendar", "event-queue implementation: calendar | heap; byte-identical results, calendar is faster")
+		learner     = flag.String("learner", "ring", "GRASS learner: ring (per-partition ring buffer) | sketch (mergeable sketch store — partition-invariant learning at -partitions > 1)")
+		learnEpochs = flag.Int("learn-epochs", 1, "replay the trace this many times, carrying merged learned state into each next epoch (needs -learner sketch when > 1); stats report the final epoch")
 	)
 	flag.Parse()
 
@@ -151,7 +153,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "grass-bench: -trace-file: %v (give a readable SWIM or Google task_events file, optionally .gz)\n", err)
 			return 1
 		}
-		return runReplay(0, *traceFile, *traceFormat, *policy, *workload, *bound, *queue, *seed, *shards, *parts)
+		return runReplay(0, *traceFile, *traceFormat, *policy, *workload, *bound, *queue, *learner, *seed, *shards, *parts, *learnEpochs)
 	}
 	if *jobs > 0 {
 		if *fig != "" || *full {
@@ -162,7 +164,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "grass-bench: -jobs %d is fewer than -partitions %d: every partition needs at least one job\n", *jobs, *parts)
 			return 1
 		}
-		return runReplay(*jobs, "", "", *policy, *workload, *bound, *queue, *seed, *shards, *parts)
+		return runReplay(*jobs, "", "", *policy, *workload, *bound, *queue, *learner, *seed, *shards, *parts, *learnEpochs)
 	}
 
 	cfg := exp.Quick()
@@ -194,12 +196,14 @@ func run() int {
 
 // runReplay executes one streaming replay — synthetic (jobs > 0) or an
 // imported real trace (traceFile != "") — and renders its aggregates.
-func runReplay(jobs int, traceFile, traceFormat, policy, workload, bound, queue string, seed int64, shards, partitions int) int {
+func runReplay(jobs int, traceFile, traceFormat, policy, workload, bound, queue, learner string, seed int64, shards, partitions, learnEpochs int) int {
 	rc := exp.DefaultReplayConfig(jobs)
 	rc.Policy = policy
 	rc.Seed = seed
 	rc.Shards = shards
 	rc.Partitions = partitions
+	rc.Learner = learner
+	rc.LearnEpochs = learnEpochs
 	var err error
 	if traceFile != "" {
 		rc.TraceFile = traceFile

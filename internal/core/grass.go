@@ -27,6 +27,11 @@ type Config struct {
 	Splits int
 	// Seed drives the perturbation coin flips.
 	Seed int64
+	// Learner selects the sample store: the zero value is the original
+	// per-bin ring-buffer Learner (partition-scoped at P>1);
+	// LearnerSketch selects the mergeable SketchLearner, whose state
+	// folds exactly across sched.RunSharded partitions.
+	Learner LearnerKind
 }
 
 // DefaultConfig returns the paper's configuration: ξ=15%, all three factors.
@@ -42,6 +47,9 @@ func (c Config) Validate() error {
 	if c.Splits < 0 {
 		return fmt.Errorf("core: negative splits %d", c.Splits)
 	}
+	if c.Learner > LearnerSketch {
+		return fmt.Errorf("core: unknown learner kind %d", c.Learner)
+	}
 	return nil
 }
 
@@ -49,7 +57,7 @@ func (c Config) Validate() error {
 // scheduler's long-lived state.
 type Factory struct {
 	cfg     Config
-	learner *Learner
+	learner LearnerStore
 	rng     *dist.RNG
 	stats   Stats
 
@@ -81,9 +89,15 @@ func New(cfg Config) (*Factory, error) {
 	if cfg.Splits == 0 {
 		cfg.Splits = 12
 	}
+	var learner LearnerStore
+	if cfg.Learner == LearnerSketch {
+		learner = NewSketchLearner(cfg.Factors)
+	} else {
+		learner = NewLearner(cfg.Factors)
+	}
 	return &Factory{
 		cfg:     cfg,
-		learner: NewLearner(cfg.Factors),
+		learner: learner,
 		rng:     dist.NewRNG(cfg.Seed),
 		gs:      spec.NewGS(),
 		ras:     spec.NewRAS(),
@@ -109,10 +123,48 @@ func (f *Factory) Name() string {
 }
 
 // Learner exposes the shared sample store (tests and diagnostics).
-func (f *Factory) Learner() *Learner { return f.learner }
+func (f *Factory) Learner() LearnerStore { return f.learner }
 
 // Stats reports decision counts accumulated so far.
 func (f *Factory) Stats() Stats { return f.stats }
+
+// ExportLearned implements spec.SharedLearner: with the sketch learner
+// configured it snapshots the mergeable sample store (caches stripped, so
+// exports depend only on the recorded sample multiset); the ring learner
+// is not mergeable and exports nil.
+func (f *Factory) ExportLearned() spec.LearnedState {
+	if sl, ok := f.learner.(*SketchLearner); ok {
+		return sl.Clone()
+	}
+	return nil
+}
+
+// SeedLearned implements spec.SharedLearner: the factory layers an
+// independent copy of the state under its learner as an immutable base —
+// queries see the seeded cluster history plus whatever this factory
+// records, while ExportLearned keeps returning only the factory's own
+// recordings. Every partition of a sharded run is seeded with the SAME
+// merged value; exporting deltas is what keeps the next merge from
+// folding that shared base P times. Only the sketch learner can adopt
+// state; seeding a ring-learner factory with a non-nil state is a
+// configuration error and panics.
+func (f *Factory) SeedLearned(state spec.LearnedState) {
+	if state == nil {
+		return
+	}
+	src, ok := state.(*SketchLearner)
+	if !ok {
+		panic(fmt.Sprintf("core: seeding factory with incompatible learned state %T", state))
+	}
+	sl, ok := f.learner.(*SketchLearner)
+	if !ok {
+		panic("core: a ring-learner factory cannot adopt merged state (set Config.Learner = LearnerSketch)")
+	}
+	if src.factors != f.cfg.Factors {
+		panic("core: seeding factory with learned state of a different factor set")
+	}
+	sl.SetBase(src.Clone())
+}
 
 // NewPolicy creates the policy for one job, flipping the ξ-perturbation
 // coin: with probability ξ the job runs pure GS or pure RAS (equally

@@ -32,10 +32,15 @@ const (
 	sampleRAS
 )
 
-// wavesBucket quantizes a job's (fractional) wave count.
+// wavesBucket quantizes a job's (fractional) wave count. NaN compares
+// false against every boundary, so without the explicit check it would
+// fall through to the highest bucket — a NaN factor input is an unknown,
+// not a many-waves job, so it clamps to the lowest bucket instead (and a
+// NaN query then matches the same bucket a NaN-factored sample recorded
+// under).
 func wavesBucket(waves float64) uint8 {
 	switch {
-	case waves <= 1:
+	case math.IsNaN(waves), waves <= 1:
 		return 0
 	case waves <= 2:
 		return 1
@@ -46,16 +51,38 @@ func wavesBucket(waves float64) uint8 {
 	}
 }
 
-// accBucket quantizes estimation accuracy.
+// accBucket quantizes estimation accuracy. NaN would otherwise fall
+// through to the highest-accuracy bucket; like wavesBucket it clamps to
+// the lowest.
 func accBucket(acc float64) uint8 {
 	switch {
-	case acc < 0.65:
+	case math.IsNaN(acc), acc < 0.65:
 		return 0
 	case acc < 0.8:
 		return 1
 	default:
 		return 2
 	}
+}
+
+// LearnerStore is the learner API the GRASS policy drives: Record feeds a
+// sample job's completion curve in, Aggregate answers the switch-point
+// search with the average completion curve of the matched samples, and
+// Samples reports store occupancy (diagnostics and tests). Two
+// implementations exist: the per-bin ring-buffer Learner (the original,
+// partition-scoped) and the mergeable SketchLearner, whose state folds
+// exactly across partitions.
+type LearnerStore interface {
+	// Record stores one sample job's completion curve with its factor
+	// values. Nil or empty curves are ignored.
+	Record(p samplePolicy, bin task.SizeBin, waves, estAcc float64, c *Curve)
+	// Aggregate returns the average completion curve of the samples
+	// matching the query's factor values, with hierarchical fallback when
+	// the exact bucket is sparse. ok is false with no samples.
+	Aggregate(p samplePolicy, bin task.SizeBin, waves, estAcc float64) (*Curve, bool)
+	// Samples reports how many sample jobs are stored for a size bin and
+	// policy.
+	Samples(bin task.SizeBin, p samplePolicy) int
 }
 
 // sample is one recorded pure-GS or pure-RAS job execution.

@@ -190,3 +190,93 @@ func TestAggregateMonotone(t *testing.T) {
 		prev = v
 	}
 }
+
+func TestBucketsRejectNaN(t *testing.T) {
+	// NaN compares false against every boundary: without the explicit
+	// check it would fall through to the highest waves bucket and the
+	// middle-ish accuracy bucket. A NaN factor input is an unknown and
+	// must clamp to the lowest bucket instead.
+	if got := wavesBucket(math.NaN()); got != 0 {
+		t.Errorf("wavesBucket(NaN) = %d, want 0", got)
+	}
+	if got := accBucket(math.NaN()); got != 0 {
+		t.Errorf("accBucket(NaN) = %d, want 0", got)
+	}
+	// And a NaN query must find samples recorded under NaN factors: both
+	// land in bucket 0, so the exact stage matches.
+	l := NewLearner(AllFactors())
+	for i := 0; i < 3; i++ {
+		l.Record(sampleGS, task.Small, math.NaN(), math.NaN(), mkCurve(10, 1))
+	}
+	got, ok := l.PredictTime(sampleGS, task.Small, math.NaN(), math.NaN(), 1)
+	if !ok || got != 10 {
+		t.Fatalf("NaN-factored query missed NaN-factored samples: %v ok=%v", got, ok)
+	}
+}
+
+func TestLearnerRingWraparound(t *testing.T) {
+	l := NewLearner(AllFactors())
+	// Fill the ring exactly, then overwrite: the oldest slot (index 0)
+	// is replaced first, so the mean prediction shifts deterministically.
+	for i := 0; i < l.maxPerKey; i++ {
+		l.Record(sampleGS, task.Large, 2, 0.9, mkCurve(10, 1))
+	}
+	l.Record(sampleGS, task.Large, 2, 0.9, mkCurve(100, 1))
+	if got := l.Samples(task.Large, sampleGS); got != l.maxPerKey {
+		t.Fatalf("ring grew past capacity: %d", got)
+	}
+	want := (float64(l.maxPerKey-1)*10 + 100) / float64(l.maxPerKey)
+	got, ok := l.PredictTime(sampleGS, task.Large, 2, 0.9, 1)
+	if !ok || math.Abs(got-want) > 1e-9 {
+		t.Fatalf("post-wraparound prediction %v, want %v", got, want)
+	}
+	// A full second lap leaves only the new samples.
+	for i := 0; i < l.maxPerKey; i++ {
+		l.Record(sampleGS, task.Large, 2, 0.9, mkCurve(100, 1))
+	}
+	got, ok = l.PredictTime(sampleGS, task.Large, 2, 0.9, 1)
+	if !ok || got != 100 {
+		t.Fatalf("full lap did not evict every old sample: %v", got)
+	}
+}
+
+func TestLearnerFallbackStages(t *testing.T) {
+	l := NewLearner(AllFactors())
+	// Three fast samples at (waves bucket 1, acc bucket 2); three slow at
+	// (waves bucket 3, acc bucket 0).
+	for i := 0; i < 3; i++ {
+		l.Record(sampleGS, task.Medium, 2, 0.9, mkCurve(10, 1))
+		l.Record(sampleGS, task.Medium, 10, 0.5, mkCurve(100, 1))
+	}
+	// Stage 1 (exact): query (wb1, ab2) hits the fast samples directly.
+	if got, _ := l.PredictTime(sampleGS, task.Medium, 2, 0.9, 1); got != 10 {
+		t.Errorf("exact stage: %v, want 10", got)
+	}
+	// Stage 2 (relax accuracy): (wb1, ab0) has no exact match; waves-only
+	// still isolates the fast samples.
+	if got, _ := l.PredictTime(sampleGS, task.Medium, 2, 0.5, 1); got != 10 {
+		t.Errorf("relax-acc stage: %v, want 10", got)
+	}
+	// Stage 3 (relax waves): (wb2, ab2) matches nothing by waves; acc-only
+	// isolates the fast samples.
+	if got, _ := l.PredictTime(sampleGS, task.Medium, 3, 0.9, 1); got != 10 {
+		t.Errorf("relax-waves stage: %v, want 10", got)
+	}
+	// Stage 4 (all): (wb2, ab1) matches nothing by either factor; the
+	// whole size bin mixes.
+	if got, _ := l.PredictTime(sampleGS, task.Medium, 3, 0.7, 1); got != 55 {
+		t.Errorf("all stage: %v, want mixed 55", got)
+	}
+}
+
+func TestLearnerEmptyFactorSetMatchesAll(t *testing.T) {
+	// FactorSet{} builds no filter stages at all: even a single sample
+	// (below minSamples) must match, because the stage loop is empty and
+	// match falls straight through to the whole size bin.
+	l := NewLearner(FactorSet{})
+	l.Record(sampleRAS, task.Small, 10, 0.9, mkCurve(42, 1))
+	got, ok := l.PredictTime(sampleRAS, task.Small, 1, 0.5, 1)
+	if !ok || got != 42 {
+		t.Fatalf("empty factor set: %v ok=%v, want 42", got, ok)
+	}
+}

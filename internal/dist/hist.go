@@ -1,0 +1,195 @@
+package dist
+
+import (
+	"math"
+	"sort"
+)
+
+// Hist is the counts-only core of the DDSketch-style quantile sketch: a
+// log-bucketed histogram whose entire state is integer bucket counts plus
+// the exact extremes of the observed multiset. It exists as its own type
+// because integer-only state has a property the full Sketch (which also
+// carries a floating-point Sum) cannot offer: two Hists built from ANY
+// partitioning of one observation multiset — in any observation order,
+// merged in any grouping — are deeply equal, field for field. GRASS's
+// mergeable sketch learner builds on exactly that guarantee: per-partition
+// learners fold at the sharded merge step and the folded state must be
+// indistinguishable from a single learner fed every sample.
+//
+// A value v > 0 lands in bucket ⌈log_γ v⌉ with γ = (1+α)/(1−α), so every
+// reported quantile is within relative error α of an exact quantile of the
+// observed multiset. Values ≤ 0 (and NaN) collapse into a zero bucket.
+//
+// The zero Hist is not ready for use; call NewHist. A Hist is not safe for
+// concurrent use.
+type Hist struct {
+	gamma     float64
+	invLogG   float64 // 1 / ln(gamma), cached for the index computation
+	relAlpha  float64
+	counts    map[int]uint64
+	zero      uint64 // observations ≤ 0
+	n         uint64
+	min, max  float64
+	sortedBuf []int // reusable key buffer for Quantile
+}
+
+// DefaultHistAlpha is the default relative-error guarantee: reported
+// quantiles are within 1% of an exact quantile.
+const DefaultHistAlpha = 0.01
+
+// NewHist returns an empty histogram with relative-error guarantee alpha
+// in (0, 1); alpha <= 0 selects DefaultHistAlpha.
+func NewHist(alpha float64) *Hist {
+	if alpha <= 0 {
+		alpha = DefaultHistAlpha
+	}
+	if alpha >= 1 {
+		alpha = 0.5
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &Hist{
+		gamma:    gamma,
+		invLogG:  1 / math.Log(gamma),
+		counts:   make(map[int]uint64),
+		relAlpha: alpha,
+	}
+}
+
+// Alpha returns the histogram's relative-error guarantee.
+func (h *Hist) Alpha() float64 { return h.relAlpha }
+
+// Observe records one value. Values ≤ 0 (or NaN, which compares false
+// everywhere) collapse into the zero bucket and report as 0 from Quantile.
+func (h *Hist) Observe(v float64) {
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+	if v > 0 {
+		h.counts[h.bucket(v)]++
+	} else {
+		h.zero++
+	}
+}
+
+// bucket maps a positive value to its log-γ bucket index.
+func (h *Hist) bucket(v float64) int {
+	return int(math.Ceil(math.Log(v) * h.invLogG))
+}
+
+// value maps a bucket index back to a representative value: the bucket's
+// geometric midpoint 2γ^i/(γ+1), the point minimizing worst-case relative
+// error within the bucket.
+func (h *Hist) value(i int) float64 {
+	return 2 * math.Pow(h.gamma, float64(i)) / (h.gamma + 1)
+}
+
+// Count returns how many values have been observed.
+func (h *Hist) Count() uint64 { return h.n }
+
+// Min returns the exact minimum observed value (0 when empty).
+func (h *Hist) Min() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the exact maximum observed value (0 when empty).
+func (h *Hist) Max() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Merge folds o into h: bucket-wise integer addition, so the result is
+// exactly the histogram of the union of both observation multisets. Both
+// histograms must have been built with the same alpha — bucket boundaries
+// differ otherwise and the merged counts would be meaningless; Merge
+// panics on mismatch (a programming error, not a data condition). Merging
+// a nil or empty histogram is a no-op.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil {
+		return
+	}
+	if o.gamma != h.gamma {
+		panic("dist: merging histograms with different alpha")
+	}
+	if o.n == 0 {
+		return
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.n == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.zero += o.zero
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+}
+
+// Clone returns an independent copy with the query scratch buffer
+// stripped, so clones of histograms built from the same multiset are
+// deeply equal regardless of what was queried in between.
+func (h *Hist) Clone() *Hist {
+	c := *h
+	c.counts = make(map[int]uint64, len(h.counts))
+	for i, n := range h.counts {
+		c.counts[i] = n
+	}
+	c.sortedBuf = nil
+	return &c
+}
+
+// Reset empties the histogram in place, keeping allocated capacity — the
+// learner reuses one scratch Hist across aggregate queries.
+func (h *Hist) Reset() {
+	clear(h.counts)
+	h.zero, h.n = 0, 0
+	h.min, h.max = 0, 0
+}
+
+// Quantile returns the value at quantile q in [0, 1], within relative
+// error alpha of an exact quantile of the observed multiset. Extremes are
+// exact: q = 0 reports Min and q = 1 reports Max. An empty histogram
+// reports 0; q outside [0, 1] is clamped.
+func (h *Hist) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	// rank is 1-based: the ⌈q·n⌉-th smallest observation.
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank <= h.zero {
+		return 0
+	}
+	seen := h.zero
+	keys := h.sortedBuf[:0]
+	for i := range h.counts {
+		keys = append(keys, i)
+	}
+	sort.Ints(keys)
+	h.sortedBuf = keys
+	for _, i := range keys {
+		seen += h.counts[i]
+		if seen >= rank {
+			return h.value(i)
+		}
+	}
+	return h.Max() // unreachable unless counts were mutated mid-query
+}

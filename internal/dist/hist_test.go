@@ -1,0 +1,131 @@
+package dist
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// histTestValues draws a heavy-tailed task-duration-shaped sample.
+func histTestValues(n int, seed int64) []float64 {
+	rng := NewRNG(seed)
+	ln := Lognormal{Mu: 2, Sigma: 1.1}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = ln.Sample(rng)
+	}
+	return vals
+}
+
+// TestHistQuantileRelativeError: reported quantiles are within the
+// promised relative error of the exact ⌈q·n⌉-th smallest observation.
+func TestHistQuantileRelativeError(t *testing.T) {
+	vals := histTestValues(30_000, 9)
+	h := NewHist(0.01)
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		rank := int(math.Ceil(q * float64(len(sorted))))
+		want := sorted[rank-1]
+		got := h.Quantile(q)
+		if rel := math.Abs(got-want) / want; rel > 0.011 {
+			t.Errorf("q=%g: hist %v vs exact %v (relative error %.4f > alpha)", q, got, want, rel)
+		}
+	}
+	if h.Min() != sorted[0] || h.Max() != sorted[len(sorted)-1] {
+		t.Errorf("extremes inexact: min %v/%v max %v/%v", h.Min(), sorted[0], h.Max(), sorted[len(sorted)-1])
+	}
+}
+
+// TestHistMergeDeepEqual is the property the mergeable GRASS learner is
+// built on: Hist state is integer counts plus exact extremes, so P
+// per-partition histograms merged in canonical order are DEEPLY EQUAL —
+// field for field, not just quantile-equal — to one histogram fed every
+// observation, for any partitioning.
+func TestHistMergeDeepEqual(t *testing.T) {
+	vals := histTestValues(8_000, 4)
+	whole := NewHist(0.01)
+	for _, v := range vals {
+		whole.Observe(v)
+	}
+	for _, parts := range []int{2, 4, 7} {
+		shards := make([]*Hist, parts)
+		for p := range shards {
+			shards[p] = NewHist(0.01)
+		}
+		for i, v := range vals {
+			shards[i%parts].Observe(v)
+		}
+		merged := NewHist(0.01)
+		for _, sh := range shards {
+			merged.Merge(sh)
+		}
+		// Clone both sides: Clone strips the Quantile scratch buffer, the
+		// only state legitimately allowed to differ.
+		if !reflect.DeepEqual(merged.Clone(), whole.Clone()) {
+			t.Errorf("parts=%d: merged histogram not deeply equal to whole", parts)
+		}
+	}
+}
+
+// TestHistZeroAndNaN: non-positive and NaN observations collapse into the
+// zero bucket and report as 0, while still counting toward n and extremes
+// handling.
+func TestHistZeroAndNaN(t *testing.T) {
+	h := NewHist(0.01)
+	h.Observe(0)
+	h.Observe(-2)
+	h.Observe(math.NaN())
+	h.Observe(7)
+	if h.Count() != 4 {
+		t.Fatalf("count %d, want 4", h.Count())
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("median with 3 zero-bucket observations reported %v, want 0", got)
+	}
+	if got := h.Quantile(1); got != 7 {
+		t.Errorf("max quantile %v, want 7", got)
+	}
+}
+
+// TestHistCloneAndReset: clones are independent and cache-stripped; Reset
+// empties in place so the learner's scratch histogram is reusable.
+func TestHistCloneAndReset(t *testing.T) {
+	h := NewHist(0.02)
+	for _, v := range []float64{1, 2, 3, 4} {
+		h.Observe(v)
+	}
+	h.Quantile(0.5) // populate the scratch buffer
+	c := h.Clone()
+	if c.sortedBuf != nil {
+		t.Error("Clone must strip the quantile scratch buffer")
+	}
+	c.Observe(100)
+	if h.Count() != 4 || c.Count() != 5 {
+		t.Errorf("clone not independent: %d / %d", h.Count(), c.Count())
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("Reset must empty the histogram")
+	}
+	h.Observe(9)
+	if got := h.Quantile(0.5); got == 0 {
+		t.Errorf("post-Reset observe broken: median %v", got)
+	}
+}
+
+// TestHistMergeAlphaMismatch: merging histograms with different bucket
+// boundaries is a programming error and must panic, even when the source
+// is empty.
+func TestHistMergeAlphaMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("merging histograms with different alpha must panic")
+		}
+	}()
+	NewHist(0.01).Merge(NewHist(0.05))
+}

@@ -66,8 +66,18 @@ func Quick() Config {
 // Names: grass, grass-strawman, grass-best1, grass-best2util,
 // grass-best2acc, gs, ras, late, mantri, nospec, oracle.
 func NewFactory(name string, seed int64) (spec.Factory, bool, error) {
+	return NewFactoryLearner(name, seed, core.LearnerRing)
+}
+
+// NewFactoryLearner is NewFactory with the GRASS learner implementation
+// selected: core.LearnerRing is the default per-partition ring store,
+// core.LearnerSketch the mergeable store whose state folds across
+// partitions (and is required for LearnEpochs > 1 replays). Non-GRASS
+// policy names ignore the learner.
+func NewFactoryLearner(name string, seed int64, learner core.LearnerKind) (spec.Factory, bool, error) {
 	mk := func(cfg core.Config) (spec.Factory, bool, error) {
 		cfg.Seed = seed
+		cfg.Learner = learner
 		f, err := core.New(cfg)
 		return f, false, err
 	}

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/approx-analytics/grass/internal/core"
 	"github.com/approx-analytics/grass/internal/sched"
 	"github.com/approx-analytics/grass/internal/simevent"
 	"github.com/approx-analytics/grass/internal/spec"
@@ -79,6 +80,20 @@ type ReplayConfig struct {
 	TraceFormat  traceio.Format
 	TraceOptions *traceio.Options
 
+	// Learner selects the GRASS learner implementation by name ("" or
+	// "ring" for the per-partition ring store, "sketch" for the mergeable
+	// sketch store — core.ParseLearnerKind's set). With "sketch" at
+	// Partitions > 1 the per-partition learners fold at the canonical
+	// merge, so a later epoch's partitions query the combined cluster
+	// history. Non-GRASS policies ignore it.
+	Learner string
+	// LearnEpochs replays the trace this many times, carrying merged
+	// learned state from each epoch into the next (0 and 1 mean a single
+	// pass). Epochs > 1 require Learner "sketch" — the ring store is not
+	// mergeable. Reported aggregates are the FINAL epoch's (the warmed-up
+	// regime); Wall and the memory high-water span all epochs.
+	LearnEpochs int
+
 	// NewSource, when set, replays fully custom admission sources:
 	// NewSource(p, parts) must return partition p's jobs — dense IDs
 	// ≡ p (mod parts), non-decreasing arrivals — and Jobs must hold the
@@ -124,6 +139,11 @@ type ReplayStats struct {
 	Partitions, Shards int
 	ShardWalls         []time.Duration
 
+	// Learner and LearnEpochs echo the learning configuration; aggregates
+	// are the final epoch's when LearnEpochs > 1.
+	Learner     string
+	LearnEpochs int
+
 	// Per-class aggregates: deadline jobs report mean accuracy, error-bound
 	// (and exact) jobs mean input duration — the paper's two headline axes.
 	DeadlineJobs     int
@@ -158,6 +178,10 @@ func (r *ReplayStats) Render(w io.Writer) {
 		}
 		fmt.Fprintf(w, "%-24s %d partitions on %d shard workers; balance %.2fx (sum/max partition wall — the ceiling extra cores can reach)\n",
 			"sharded execution", r.Partitions, r.Shards, balance)
+	}
+	if r.LearnEpochs > 1 || r.Learner == "sketch" {
+		fmt.Fprintf(w, "%-24s %s learner, %d epoch(s); stats are the final epoch's\n",
+			"grass learning", r.Learner, max(r.LearnEpochs, 1))
 	}
 	fmt.Fprintf(w, "%-24s %12d %12d %12d\n", "jobs per bin (<50/51-500/>500)", r.BinCounts[0], r.BinCounts[1], r.BinCounts[2])
 	fmt.Fprintf(w, "%-24s %12d   mean accuracy  %8.4f\n", "deadline jobs", r.DeadlineJobs, r.MeanAccuracy)
@@ -230,6 +254,9 @@ func Replay(cfg ReplayConfig) (*ReplayStats, error) {
 	if cfg.Partitions < 0 {
 		return nil, fmt.Errorf("exp: %d partitions (want >= 1, or 0 to follow Shards)", cfg.Partitions)
 	}
+	if cfg.LearnEpochs < 0 {
+		return nil, fmt.Errorf("exp: %d learn epochs (want >= 1, or 0 for a single pass)", cfg.LearnEpochs)
+	}
 	def := DefaultReplayConfig(cfg.Jobs)
 	if cfg.Policy == "" {
 		cfg.Policy = def.Policy
@@ -287,7 +314,18 @@ func Replay(cfg ReplayConfig) (*ReplayStats, error) {
 	tc.Slots = cfg.Machines * cfg.SlotsPerMachine
 	tc.Load = cfg.Load
 
-	_, oracleMode, err := NewFactory(cfg.Policy, cfg.Seed)
+	learner, err := core.ParseLearnerKind(cfg.Learner)
+	if err != nil {
+		return nil, err
+	}
+	epochs := cfg.LearnEpochs
+	if epochs <= 0 {
+		epochs = 1
+	}
+	if epochs > 1 && learner != core.LearnerSketch {
+		return nil, fmt.Errorf("exp: %d learn epochs need the mergeable sketch learner (set Learner to \"sketch\"; the ring store cannot carry state across epochs)", epochs)
+	}
+	_, oracleMode, err := NewFactoryLearner(cfg.Policy, cfg.Seed, learner)
 	if err != nil {
 		return nil, err
 	}
@@ -301,7 +339,10 @@ func Replay(cfg ReplayConfig) (*ReplayStats, error) {
 	// legitimately fires hundreds of millions of events.
 	scfg.MaxEvents = uint64(cfg.Jobs)*2000 + 1_000_000
 
-	rs := &ReplayStats{Jobs: cfg.Jobs, Partitions: cfg.Partitions, Shards: cfg.Shards}
+	rs := &ReplayStats{
+		Jobs: cfg.Jobs, Partitions: cfg.Partitions, Shards: cfg.Shards,
+		Learner: learner.String(), LearnEpochs: epochs,
+	}
 	var accSum, durSum float64
 	fold := func(r sched.JobResult) {
 		rs.BinCounts[int(r.Bin)]++
@@ -330,7 +371,7 @@ func Replay(cfg ReplayConfig) (*ReplayStats, error) {
 		Parts:   cfg.Partitions,
 		Workers: cfg.Shards,
 		NewFactory: func(seed int64) (spec.Factory, error) {
-			f, _, err := NewFactory(cfg.Policy, seed)
+			f, _, err := NewFactoryLearner(cfg.Policy, seed, learner)
 			return f, err
 		},
 		NewSource: func(p int) (sched.Source, error) {
@@ -343,7 +384,33 @@ func Replay(cfg ReplayConfig) (*ReplayStats, error) {
 
 	watch := startMemWatch(cfg.MemSample)
 	t0 := time.Now()
-	stats, err := sched.RunSharded(run)
+	var stats *sched.RunStats
+	var cum spec.LearnedState // history accumulated across epochs
+	for e := 0; e < epochs; e++ {
+		// Aggregates report the final epoch: reset the fold state each lap.
+		rs.BinCounts, rs.DeadlineJobs, rs.ErrorJobs = [3]int{}, 0, 0
+		rs.Launched, rs.Killed = 0, 0
+		accSum, durSum = 0, 0
+		run.Learned = cum
+		var delta spec.LearnedState
+		if epochs > 1 {
+			run.OnLearned = func(s spec.LearnedState) { delta = s }
+		}
+		if stats, err = sched.RunSharded(run); err != nil || e == epochs-1 {
+			break
+		}
+		// Exports are this epoch's own recordings (the seeded base never
+		// re-exports), so accumulating is a plain merge of deltas.
+		if delta == nil {
+			err = fmt.Errorf("exp: policy %q exported no learned state after epoch %d (multi-epoch replays need a GRASS policy)", cfg.Policy, e+1)
+			break
+		}
+		if cum == nil {
+			cum = delta
+		} else {
+			cum.MergeLearned(delta)
+		}
+	}
 	rs.Wall = time.Since(t0)
 	rs.ShardWalls = walls
 	rs.HeapHighWater, rs.HeapSysHighWater = watch.finish()

@@ -178,3 +178,73 @@ func TestReplayShardedGolden(t *testing.T) {
 		t.Fatalf("sharded replay golden moved:\n got: %s\nwant: %s", got, want)
 	}
 }
+
+// TestReplayLearnEpochs: a multi-epoch sketch-learner replay carries
+// merged learned state across epochs, stays deterministic for any worker
+// count, and reports the final epoch's aggregates for exactly one trace.
+func TestReplayLearnEpochs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full streaming replay")
+	}
+	run := func(shards int) *ReplayStats {
+		rc := replayTestConfig(150)
+		rc.Policy = "grass"
+		rc.Learner = "sketch"
+		rc.LearnEpochs = 2
+		rc.Partitions = 2
+		rc.Shards = shards
+		rs, err := Replay(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs.Wall, rs.ShardWalls, rs.Shards = 0, nil, 0
+		rs.HeapHighWater, rs.HeapSysHighWater = 0, 0
+		return rs
+	}
+	a, b := run(1), run(2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("multi-epoch replay not worker-invariant:\n a: %+v\n b: %+v", a, b)
+	}
+	if got := a.DeadlineJobs + a.ErrorJobs; got != 150 {
+		t.Fatalf("final-epoch aggregates cover %d jobs, want 150", got)
+	}
+	if a.Learner != "sketch" || a.LearnEpochs != 2 {
+		t.Fatalf("learning config not echoed: %q/%d", a.Learner, a.LearnEpochs)
+	}
+	var buf bytes.Buffer
+	a.Render(&buf)
+	if !strings.Contains(buf.String(), "grass learning") {
+		t.Fatalf("render missing learning line:\n%s", buf.String())
+	}
+}
+
+func TestReplayLearnEpochsValidation(t *testing.T) {
+	// Epochs need a mergeable learner: the default ring store cannot
+	// carry state across epochs.
+	rc := DefaultReplayConfig(10)
+	rc.Policy = "grass"
+	rc.LearnEpochs = 2
+	if _, err := Replay(rc); err == nil {
+		t.Fatal("ring-learner multi-epoch replay accepted")
+	}
+	rc = DefaultReplayConfig(10)
+	rc.Learner = "bogus"
+	if _, err := Replay(rc); err == nil {
+		t.Fatal("unknown learner name accepted")
+	}
+	rc = DefaultReplayConfig(10)
+	rc.LearnEpochs = -1
+	if _, err := Replay(rc); err == nil {
+		t.Fatal("negative epoch count accepted")
+	}
+	// A non-learning policy exports no state, so a second epoch has
+	// nothing to seed — the replay must say so rather than silently
+	// running independent passes.
+	rc = DefaultReplayConfig(30)
+	rc.Policy = "gs"
+	rc.Learner = "sketch"
+	rc.LearnEpochs = 2
+	if _, err := Replay(rc); err == nil {
+		t.Fatal("multi-epoch replay of a non-learning policy accepted")
+	}
+}

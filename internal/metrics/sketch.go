@@ -2,14 +2,18 @@ package metrics
 
 import (
 	"math"
-	"sort"
+
+	"github.com/approx-analytics/grass/internal/dist"
 )
 
 // Sketch is a mergeable streaming quantile sketch for job latencies — the
 // telemetry substrate of the live serving mode (internal/serve). It is a
-// DDSketch-style log-bucketed histogram: a value v > 0 lands in bucket
-// ⌈log_γ v⌉ with γ = (1+α)/(1−α), which guarantees every reported quantile
-// is within relative error α of an exact quantile of the observed multiset.
+// DDSketch-style log-bucketed histogram (see Hist, the counts-only core it
+// is built on): a value v > 0 lands in bucket ⌈log_γ v⌉ with
+// γ = (1+α)/(1−α), which guarantees every reported quantile is within
+// relative error α of an exact quantile of the observed multiset. On top
+// of the histogram it keeps a running Sum, so mean latency is reportable
+// alongside the quantiles.
 //
 // Two properties matter more here than raw accuracy:
 //
@@ -29,177 +33,98 @@ import (
 // safe for concurrent use — the serving layer guards each partition's
 // sketch with its own mutex and merges copies.
 type Sketch struct {
-	gamma     float64
-	invLogG   float64 // 1 / ln(gamma), cached for the index computation
-	counts    map[int]uint64
-	zero      uint64 // observations ≤ 0 (latency 0 is legal: instant jobs)
-	n         uint64
-	sum       float64
-	min, max  float64
-	relAlpha  float64
-	sortedBuf []int // reusable key buffer for Quantile
+	hist dist.Hist
+	// sum/sumComp are a Neumaier-compensated accumulator: sum holds the
+	// running floating-point sum, sumComp the accumulated low-order bits
+	// each addition rounded away. See Sum for why.
+	sum, sumComp float64
 }
 
 // DefaultSketchAlpha is the relative-error guarantee the serving layer
 // requests: reported quantiles are within 1% of an exact quantile.
-const DefaultSketchAlpha = 0.01
+const DefaultSketchAlpha = dist.DefaultHistAlpha
 
 // NewSketch returns an empty sketch with relative-error guarantee alpha in
 // (0, 1); alpha <= 0 selects DefaultSketchAlpha.
 func NewSketch(alpha float64) *Sketch {
-	if alpha <= 0 {
-		alpha = DefaultSketchAlpha
-	}
-	if alpha >= 1 {
-		alpha = 0.5
-	}
-	gamma := (1 + alpha) / (1 - alpha)
-	return &Sketch{
-		gamma:    gamma,
-		invLogG:  1 / math.Log(gamma),
-		counts:   make(map[int]uint64),
-		relAlpha: alpha,
-	}
+	return &Sketch{hist: *dist.NewHist(alpha)}
 }
 
 // Alpha returns the sketch's relative-error guarantee.
-func (s *Sketch) Alpha() float64 { return s.relAlpha }
+func (s *Sketch) Alpha() float64 { return s.hist.Alpha() }
 
 // Observe records one value. Values ≤ 0 (or NaN, which compares false
 // everywhere) collapse into the zero bucket and report as 0 from Quantile.
 func (s *Sketch) Observe(v float64) {
-	if s.n == 0 || v < s.min {
-		s.min = v
-	}
-	if s.n == 0 || v > s.max {
-		s.max = v
-	}
-	s.n++
-	s.sum += v
-	if v > 0 {
-		s.counts[s.bucket(v)]++
+	s.hist.Observe(v)
+	s.add(v)
+}
+
+// add folds v into the compensated sum accumulator (Neumaier's variant of
+// Kahan summation: the branch keeps the compensation exact whichever of
+// the addends is larger in magnitude).
+func (s *Sketch) add(v float64) {
+	t := s.sum + v
+	if math.Abs(s.sum) >= math.Abs(v) {
+		s.sumComp += (s.sum - t) + v
 	} else {
-		s.zero++
+		s.sumComp += (v - t) + s.sum
 	}
-}
-
-// bucket maps a positive value to its log-γ bucket index.
-func (s *Sketch) bucket(v float64) int {
-	return int(math.Ceil(math.Log(v) * s.invLogG))
-}
-
-// value maps a bucket index back to a representative value: the bucket's
-// geometric midpoint 2γ^i/(γ+1), the point minimizing worst-case relative
-// error within the bucket.
-func (s *Sketch) value(i int) float64 {
-	return 2 * math.Pow(s.gamma, float64(i)) / (s.gamma + 1)
+	s.sum = t
 }
 
 // Count returns how many values have been observed.
-func (s *Sketch) Count() uint64 { return s.n }
+func (s *Sketch) Count() uint64 { return s.hist.Count() }
 
-// Sum returns the running sum of observed values (mean = Sum/Count).
-func (s *Sketch) Sum() float64 { return s.sum }
+// Sum returns the running sum of observed values (mean = Sum/Count). The
+// accumulator is Neumaier-compensated — each addition's rounding error is
+// retained and folded back here — so the reported sum is the correctly
+// rounded true sum for any realistic observation stream, and regrouping
+// the observations across partitions (P per-partition sketches merged in
+// any order versus one sketch fed everything) reproduces it exactly; the
+// cross-partition regroup determinism test pins that.
+func (s *Sketch) Sum() float64 { return s.sum + s.sumComp }
 
-// Min and Max return exact extremes (0 when empty).
-func (s *Sketch) Min() float64 {
-	if s.n == 0 {
-		return 0
-	}
-	return s.min
-}
+// Min returns the exact minimum observed value (0 when empty).
+func (s *Sketch) Min() float64 { return s.hist.Min() }
 
 // Max returns the exact maximum observed value (0 when empty).
-func (s *Sketch) Max() float64 {
-	if s.n == 0 {
-		return 0
-	}
-	return s.max
-}
+func (s *Sketch) Max() float64 { return s.hist.Max() }
 
 // Merge folds o into s: bucket-wise addition, so the result is exactly the
 // sketch of the union of both observation multisets — quantiles, counts
-// and extremes are identical to a single sketch fed every observation.
-// Sum alone is float addition: deterministic for a fixed merge order, but
-// regrouping observations across partitions may move its last ulps (the
-// same caveat the lazy-TNew analysis pinned in PR 5). Both sketches must
-// have been built with the same alpha — bucket boundaries differ otherwise
-// and the merged histogram would be meaningless; Merge panics on mismatch
-// (a programming error, not a data condition). Merging an empty or nil
-// sketch is a no-op.
+// and extremes are identical to a single sketch fed every observation, and
+// the compensated sum accumulators fold without losing either side's
+// retained rounding error. Both sketches must have been built with the
+// same alpha — bucket boundaries differ otherwise and the merged histogram
+// would be meaningless; Merge panics on mismatch (a programming error, not
+// a data condition). Merging an empty or nil sketch is a no-op.
 func (s *Sketch) Merge(o *Sketch) {
 	if o == nil {
 		return
 	}
-	if o.gamma != s.gamma {
+	if o.hist.Alpha() != s.hist.Alpha() {
 		panic("metrics: merging sketches with different alpha")
 	}
-	if o.n == 0 {
+	if o.hist.Count() == 0 {
 		return
 	}
-	if s.n == 0 || o.min < s.min {
-		s.min = o.min
-	}
-	if s.n == 0 || o.max > s.max {
-		s.max = o.max
-	}
-	s.n += o.n
-	s.sum += o.sum
-	s.zero += o.zero
-	for i, c := range o.counts {
-		s.counts[i] += c
-	}
+	s.hist.Merge(&o.hist)
+	s.add(o.sum)
+	s.add(o.sumComp)
 }
 
 // Clone returns an independent copy — the serving layer snapshots each
 // partition's sketch under its lock and merges the copies outside it.
 func (s *Sketch) Clone() *Sketch {
-	c := *s
-	c.counts = make(map[int]uint64, len(s.counts))
-	for i, n := range s.counts {
-		c.counts[i] = n
-	}
-	c.sortedBuf = nil
-	return &c
+	return &Sketch{hist: *s.hist.Clone(), sum: s.sum, sumComp: s.sumComp}
 }
 
 // Quantile returns the value at quantile q in [0, 1], within relative
 // error alpha of an exact quantile of the observed multiset. Extremes are
 // exact: q = 0 reports Min and q = 1 reports Max. An empty sketch reports
 // 0; q outside [0, 1] is clamped.
-func (s *Sketch) Quantile(q float64) float64 {
-	if s.n == 0 {
-		return 0
-	}
-	if q <= 0 {
-		return s.Min()
-	}
-	if q >= 1 {
-		return s.Max()
-	}
-	// rank is 1-based: the ⌈q·n⌉-th smallest observation.
-	rank := uint64(math.Ceil(q * float64(s.n)))
-	if rank < 1 {
-		rank = 1
-	}
-	if rank <= s.zero {
-		return 0
-	}
-	seen := s.zero
-	keys := s.sortedBuf[:0]
-	for i := range s.counts {
-		keys = append(keys, i)
-	}
-	sort.Ints(keys)
-	s.sortedBuf = keys
-	for _, i := range keys {
-		seen += s.counts[i]
-		if seen >= rank {
-			return s.value(i)
-		}
-	}
-	return s.Max() // unreachable unless counts were mutated mid-query
-}
+func (s *Sketch) Quantile(q float64) float64 { return s.hist.Quantile(q) }
 
 // Quantiles fills out[i] = Quantile(qs[i]) with one key sort for the whole
 // batch — the periodic stats line asks for four quantiles at a time.

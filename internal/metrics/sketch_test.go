@@ -87,10 +87,10 @@ func TestSketchMergeExact(t *testing.T) {
 		if merged.Count() != whole.Count() {
 			t.Errorf("parts=%d: count drifted: %d vs %d", parts, merged.Count(), whole.Count())
 		}
-		// Sum is float addition: exact per merge order, but regrouping the
-		// observations across partitions may move the last ulps.
-		if rel := math.Abs(merged.Sum()-whole.Sum()) / whole.Sum(); rel > 1e-12 {
-			t.Errorf("parts=%d: sum drifted beyond ulps: %v vs %v", parts, merged.Sum(), whole.Sum())
+		// Sum is Neumaier-compensated, so regrouping the observations
+		// across partitions reproduces it exactly — no ulp tolerance.
+		if merged.Sum() != whole.Sum() {
+			t.Errorf("parts=%d: sum not regroup-deterministic: %v vs %v", parts, merged.Sum(), whole.Sum())
 		}
 	}
 }
@@ -114,6 +114,54 @@ func TestSketchMergeOrderInvariant(t *testing.T) {
 	for _, q := range []float64{0.5, 0.99, 0.999} {
 		if fwd.Quantile(q) != rev.Quantile(q) {
 			t.Errorf("q=%g: merge order changed the quantile: %v vs %v", q, fwd.Quantile(q), rev.Quantile(q))
+		}
+	}
+}
+
+// TestSketchSumRegroupDeterminism pins the Neumaier-compensated Sum
+// across partitionings AND merge groupings: P per-partition sketches
+// merged pairwise, in a chain, or in reverse all report the same Sum as
+// one sketch fed every observation — the property `-partitions P` mean
+// latency reporting relies on.
+func TestSketchSumRegroupDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 11, 42} {
+		vals := sketchTestValues(10_000, seed)
+		whole := NewSketch(0.01)
+		for _, v := range vals {
+			whole.Observe(v)
+		}
+		for _, parts := range []int{2, 3, 8} {
+			shards := make([]*Sketch, parts)
+			for p := range shards {
+				shards[p] = NewSketch(0.01)
+			}
+			for i, v := range vals {
+				shards[i%parts].Observe(v)
+			}
+			chain := NewSketch(0.01)
+			for _, sh := range shards {
+				chain.Merge(sh)
+			}
+			rev := NewSketch(0.01)
+			for p := parts - 1; p >= 0; p-- {
+				rev.Merge(shards[p])
+			}
+			// Pairwise tree: merge shard pairs first, then fold the pairs.
+			tree := NewSketch(0.01)
+			for i := 0; i < parts; i += 2 {
+				pair := shards[i].Clone()
+				if i+1 < parts {
+					pair.Merge(shards[i+1])
+				}
+				tree.Merge(pair)
+			}
+			for name, got := range map[string]float64{
+				"chain": chain.Sum(), "reverse": rev.Sum(), "tree": tree.Sum(),
+			} {
+				if got != whole.Sum() {
+					t.Errorf("seed=%d parts=%d %s: sum %v != whole %v", seed, parts, name, got, whole.Sum())
+				}
+			}
 		}
 	}
 }

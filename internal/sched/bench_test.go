@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/approx-analytics/grass/internal/cluster"
+	"github.com/approx-analytics/grass/internal/core"
 	"github.com/approx-analytics/grass/internal/estimate"
 	"github.com/approx-analytics/grass/internal/simevent"
 	"github.com/approx-analytics/grass/internal/spec"
@@ -160,6 +161,30 @@ func BenchmarkSimulatorQuick(b *testing.B) {
 	b.Run("gs-heap", func(b *testing.B) {
 		runSimBench(b, false, false, simevent.Heap, func() spec.Factory { return spec.Stateless(spec.NewGS()) })
 	})
+	// The learning policy itself, under both learner stores. Record and
+	// Aggregate ride the job lifecycle (sample completions, switch-point
+	// evaluations), not the per-event hot path, so both variants should
+	// track the stateless baselines; the gap between them is the price of
+	// mergeable (partition-invariant) learning.
+	b.Run("grass", func(b *testing.B) {
+		runSimBench(b, false, false, simevent.Calendar, func() spec.Factory { return benchGrassFactory(core.LearnerRing) })
+	})
+	b.Run("grass-sketch", func(b *testing.B) {
+		runSimBench(b, false, false, simevent.Calendar, func() spec.Factory { return benchGrassFactory(core.LearnerSketch) })
+	})
+}
+
+// benchGrassFactory builds a GRASS factory for the bench workload with the
+// given learner implementation.
+func benchGrassFactory(k core.LearnerKind) spec.Factory {
+	cfg := core.DefaultConfig()
+	cfg.Seed = 7
+	cfg.Learner = k
+	f, err := core.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
 }
 
 // BenchmarkDispatch is the micro benchmark of one dispatch round: the cluster

@@ -111,6 +111,24 @@ type ShardedRun struct {
 	// interleaves the partition streams by the dense ID sequence
 	// 0..Jobs-1 (partition p must emit exactly the IDs ≡ p mod Parts).
 	Jobs int
+	// Learned, when non-nil, seeds every partition's factory with
+	// previously merged learned state (spec.SharedLearner.SeedLearned) —
+	// the "next epoch" half of partition-invariant learning: each
+	// partition starts from the combined cluster history instead of an
+	// empty, partition-scoped store. The seeded base is query-only:
+	// OnLearned still receives only THIS run's recordings, so an epoch
+	// driver accumulates history by merging successive OnLearned values
+	// (the shared base is never folded P times). Factories that do not
+	// implement spec.SharedLearner ignore it.
+	Learned spec.LearnedState
+	// OnLearned, when set, receives the canonical ascending-partition
+	// merge of the per-partition factories' learned states after the run
+	// (MergeLearnedStates) — nil when no partition exported state (a
+	// non-learning policy, or a learner that is not mergeable). The
+	// merged state is exact: per-partition sketch stores fold bucket-wise,
+	// so the result is byte-identical for any worker count and equals the
+	// state a single factory fed every partition's samples would hold.
+	OnLearned func(spec.LearnedState)
 	// Walls, when non-nil with len ≥ Parts, receives each partition's
 	// wall-clock execution time (distinct indices, so concurrent workers
 	// never contend). Σ walls / max walls is the parallel-scaling bound
@@ -158,6 +176,10 @@ func RunSharded(r ShardedRun) (*RunStats, error) {
 
 	stats := make([]*RunStats, r.Parts)
 	errs := make([]error, r.Parts)
+	var learned []spec.LearnedState
+	if r.OnLearned != nil {
+		learned = make([]spec.LearnedState, r.Parts)
+	}
 	var merge *shardMerge
 	var mergeErr error
 	mergeDone := make(chan struct{})
@@ -197,7 +219,11 @@ func RunSharded(r ShardedRun) (*RunStats, error) {
 					continue
 				}
 				t0 := time.Now()
-				stats[p], errs[p] = r.runPart(p, merge)
+				var partLearned spec.LearnedState
+				stats[p], partLearned, errs[p] = r.runPart(p, merge)
+				if learned != nil {
+					learned[p] = partLearned
+				}
 				if r.Walls != nil && p < len(r.Walls) {
 					r.Walls[p] = time.Since(t0)
 				}
@@ -221,6 +247,9 @@ func RunSharded(r ShardedRun) (*RunStats, error) {
 	if mergeErr != nil {
 		return nil, mergeErr
 	}
+	if r.OnLearned != nil {
+		r.OnLearned(MergeLearnedStates(learned))
+	}
 	merged := MergeShardStats(r.Config, r.Parts, stats)
 	return merged, nil
 }
@@ -235,6 +264,7 @@ func (r ShardedRun) runPlain() (*RunStats, error) {
 	if err != nil {
 		return nil, err
 	}
+	seedLearned(factory, r.Learned)
 	sim, err := New(r.Config, factory)
 	if err != nil {
 		return nil, err
@@ -275,20 +305,68 @@ func (r ShardedRun) runPlain() (*RunStats, error) {
 		return nil, fmt.Errorf("sched: sharded fold saw %d of %d jobs with %d stranded (IDs must be dense from 0)",
 			nextID, r.Jobs, len(pending))
 	}
+	if r.OnLearned != nil {
+		r.OnLearned(exportLearned(factory))
+	}
 	return stats, nil
+}
+
+// seedLearned pre-loads a factory with merged learned state when both
+// sides support it.
+func seedLearned(factory spec.Factory, state spec.LearnedState) {
+	if state == nil {
+		return
+	}
+	if sl, ok := factory.(spec.SharedLearner); ok {
+		sl.SeedLearned(state)
+	}
+}
+
+// exportLearned snapshots a factory's mergeable learned state, or nil.
+func exportLearned(factory spec.Factory) spec.LearnedState {
+	if sl, ok := factory.(spec.SharedLearner); ok {
+		return sl.ExportLearned()
+	}
+	return nil
+}
+
+// MergeLearnedStates folds per-partition learned states in ascending
+// partition order — the canonical merge, exported alongside
+// MergeShardStats so the differential harness can compose plain-engine
+// runs exactly the way RunSharded does. nil entries (cancelled or
+// non-exporting partitions) are skipped; the result is nil when nothing
+// was exported. The first non-nil state becomes the accumulator, so
+// callers own the returned value only as much as they owned the inputs
+// (RunSharded's inputs are per-partition exports owned by the merge).
+func MergeLearnedStates(states []spec.LearnedState) spec.LearnedState {
+	var acc spec.LearnedState
+	for _, s := range states {
+		if s == nil {
+			continue
+		}
+		if acc == nil {
+			acc = s
+			continue
+		}
+		acc.MergeLearned(s)
+	}
+	return acc
 }
 
 // runPart executes one partition: its own factory, simulator, and source,
 // all derived from the partition index — nothing shared with any other
-// partition.
-func (r ShardedRun) runPart(p int, merge *shardMerge) (*RunStats, error) {
+// partition. The partition's exported learned state (nil for
+// non-learning factories) rides back alongside the stats for the
+// canonical post-run merge.
+func (r ShardedRun) runPart(p int, merge *shardMerge) (*RunStats, spec.LearnedState, error) {
 	factory, err := r.NewFactory(ShardSeed(r.Config.Seed, p, r.Parts))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	seedLearned(factory, r.Learned)
 	sim, err := New(ShardConfig(r.Config, p, r.Parts), factory)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if r.Ctx != nil {
 		sim.SetContext(r.Ctx)
@@ -298,9 +376,17 @@ func (r ShardedRun) runPart(p int, merge *shardMerge) (*RunStats, error) {
 	}
 	src, err := r.NewSource(p)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return sim.RunSource(src)
+	stats, err := sim.RunSource(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out spec.LearnedState
+	if r.OnLearned != nil { // exporting clones the store; skip unless asked
+		out = exportLearned(factory)
+	}
+	return stats, out, nil
 }
 
 // shardMerge interleaves the partitions' completion-ordered result

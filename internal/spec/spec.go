@@ -150,6 +150,43 @@ type ProgressObserver interface {
 	OnTaskComplete(completed int, t float64)
 }
 
+// LearnedState is an opaque snapshot of a factory's cross-job learned
+// state (GRASS's sample store). Implementations must merge exactly and
+// commutatively — integer-count sketch state, not floating-point
+// accumulations — so per-partition states fold deterministically in the
+// sharded runner's canonical ascending-partition order and the folded
+// state is indistinguishable from a single factory having seen every
+// sample.
+type LearnedState interface {
+	// MergeLearned folds o — a state exported by an identically
+	// configured factory — into the receiver. Implementations panic on a
+	// configuration mismatch (a programming error: partitions of one run
+	// always share the factory configuration).
+	MergeLearned(o LearnedState)
+}
+
+// SharedLearner is an optional Factory interface for policies whose
+// learned state is mergeable across partitions. The sharded runner uses
+// it to fix the P>1 learning scope: each partition's factory exports its
+// state after the run, the exports fold canonically, and a later epoch's
+// factories are seeded with the combined cluster history instead of each
+// partition re-learning from only its own jobs.
+type SharedLearner interface {
+	// ExportLearned snapshots what the factory learned ITSELF — an
+	// independent copy, safe to merge and retain after the factory is
+	// gone — or nil when the configured learner is not mergeable.
+	// Seeded history (SeedLearned) is never re-exported: every partition
+	// of a sharded run holds the same seeded base, and exporting deltas
+	// is what keeps the canonical merge from folding it P times over.
+	ExportLearned() LearnedState
+	// SeedLearned pre-loads learned state (accumulated from previous
+	// epochs' exports) before any job runs, as an immutable query-only
+	// layer under whatever the factory records itself. The factory must
+	// copy what it needs: the same state value seeds every partition's
+	// factory. nil is a no-op.
+	SeedLearned(LearnedState)
+}
+
 // Factory builds per-job policy instances. Stateless policies can be shared;
 // stateful ones (GRASS) allocate per job.
 type Factory interface {

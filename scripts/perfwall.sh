@@ -97,6 +97,12 @@ check late-inc 0.76
 # The heap reference queue under the same workload: slightly cheaper in
 # allocs (no bucket-array resizes) but must not drift either.
 check gs-heap 0.80
+# The GRASS learning policy under both learner stores. Record/Aggregate
+# ride job lifecycle events, not the per-event hot path, so the mergeable
+# sketch learner (PR 9) must stay within noise of the ring store: both
+# measured ~1.64 allocs/event.
+check grass 1.74
+check grass-sketch 1.74
 
 # Sharded execution: partition balance at 4 partitions. All three
 # workers= variants compute the identical model, so their balance samples
