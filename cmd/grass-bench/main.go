@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"github.com/approx-analytics/grass/internal/exp"
+	"github.com/approx-analytics/grass/internal/fault"
 	"github.com/approx-analytics/grass/internal/simevent"
 	"github.com/approx-analytics/grass/internal/trace"
 	"github.com/approx-analytics/grass/internal/traceio"
@@ -75,6 +76,8 @@ func run() int {
 		queue       = flag.String("queue", "calendar", "event-queue implementation: calendar | heap; byte-identical results, calendar is faster")
 		learner     = flag.String("learner", "ring", "GRASS learner: ring (per-partition ring buffer) | sketch (mergeable sketch store — partition-invariant learning at -partitions > 1)")
 		learnEpochs = flag.Int("learn-epochs", 1, "replay the trace this many times, carrying merged learned state into each next epoch (needs -learner sketch when > 1); stats report the final epoch")
+		scenario    = flag.String("scenario", "", "replay fault scenario: "+strings.Join(fault.Scenarios(), " | ")+" (empty or none = benign cluster)")
+		faultSeed   = flag.Int64("fault-seed", 0, "pin the fault timeline independently of -seed (0 = derive it from -seed)")
 	)
 	flag.Parse()
 
@@ -130,6 +133,16 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "grass-bench: -partitions %d: want >= 1, or 0 to follow -shards\n", *parts)
 		return 1
 	}
+	// Fail a bad scenario name up front, and refuse fault flags outside
+	// replay mode — the experiment tables are defined on a benign cluster.
+	if _, err := fault.Scenario(*scenario); err != nil {
+		fmt.Fprintf(os.Stderr, "grass-bench: -scenario: %v\n", err)
+		return 1
+	}
+	if (*scenario != "" && *scenario != "none" || *faultSeed != 0) && *jobs == 0 && *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "grass-bench: -scenario/-fault-seed apply to streaming replays only (set -jobs or -trace-file)")
+		return 1
+	}
 	if *traceFile != "" {
 		if *fig != "" || *full {
 			fmt.Fprintln(os.Stderr, "grass-bench: -trace-file (imported replay) cannot be combined with -fig or -full")
@@ -153,7 +166,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "grass-bench: -trace-file: %v (give a readable SWIM or Google task_events file, optionally .gz)\n", err)
 			return 1
 		}
-		return runReplay(0, *traceFile, *traceFormat, *policy, *workload, *bound, *queue, *learner, *seed, *shards, *parts, *learnEpochs)
+		return runReplay(0, *traceFile, *traceFormat, *policy, *workload, *bound, *queue, *learner, *scenario, *seed, *faultSeed, *shards, *parts, *learnEpochs)
 	}
 	if *jobs > 0 {
 		if *fig != "" || *full {
@@ -164,7 +177,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "grass-bench: -jobs %d is fewer than -partitions %d: every partition needs at least one job\n", *jobs, *parts)
 			return 1
 		}
-		return runReplay(*jobs, "", "", *policy, *workload, *bound, *queue, *learner, *seed, *shards, *parts, *learnEpochs)
+		return runReplay(*jobs, "", "", *policy, *workload, *bound, *queue, *learner, *scenario, *seed, *faultSeed, *shards, *parts, *learnEpochs)
 	}
 
 	cfg := exp.Quick()
@@ -196,7 +209,7 @@ func run() int {
 
 // runReplay executes one streaming replay — synthetic (jobs > 0) or an
 // imported real trace (traceFile != "") — and renders its aggregates.
-func runReplay(jobs int, traceFile, traceFormat, policy, workload, bound, queue, learner string, seed int64, shards, partitions, learnEpochs int) int {
+func runReplay(jobs int, traceFile, traceFormat, policy, workload, bound, queue, learner, scenario string, seed, faultSeed int64, shards, partitions, learnEpochs int) int {
 	rc := exp.DefaultReplayConfig(jobs)
 	rc.Policy = policy
 	rc.Seed = seed
@@ -204,6 +217,8 @@ func runReplay(jobs int, traceFile, traceFormat, policy, workload, bound, queue,
 	rc.Partitions = partitions
 	rc.Learner = learner
 	rc.LearnEpochs = learnEpochs
+	rc.Scenario = scenario
+	rc.FaultSeed = faultSeed
 	var err error
 	if traceFile != "" {
 		rc.TraceFile = traceFile

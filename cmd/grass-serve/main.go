@@ -14,8 +14,10 @@
 //
 // The run is bounded by -jobs (virtual job count) and/or -for (wall
 // clock); whichever trips first closes admission, and in-flight jobs
-// drain. Ctrl-C cancels outright — the context-cancellation path — and
-// exits nonzero without a summary.
+// drain. SIGINT (Ctrl-C) and SIGTERM shut down gracefully: the first
+// signal closes admission and the in-flight jobs drain to a normal SLO
+// summary — what an orchestrator's stop hook expects; a second signal
+// cancels outright and exits nonzero without a summary.
 //
 // Virtual-time output is deterministic: for fixed -seed, -pace-seed and
 // -partitions, every line of the final summary except wall-clock
@@ -31,6 +33,8 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	grass "github.com/approx-analytics/grass"
@@ -57,6 +61,8 @@ func run() int {
 		stats    = flag.Duration("stats", 0, "print a live stats line at this interval (0 = off)")
 		queueCap = flag.Int("queue-cap", 0, "per-partition admission queue capacity (0 = default 1024)")
 		queue    = flag.String("queue", "calendar", "event-queue implementation: calendar | heap; byte-identical results, calendar is faster")
+		scenario = flag.String("scenario", "", "fault scenario: "+strings.Join(grass.FaultScenarios(), " | ")+" (empty or none = benign cluster)")
+		fltSeed  = flag.Int64("fault-seed", 0, "pin the fault timeline independently of -seed (0 = derive it from -seed)")
 	)
 	flag.Parse()
 
@@ -102,6 +108,13 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "grass-serve: %v\n", err)
 		return 1
 	}
+	if sc.Faults, err = grass.FaultScenario(*scenario); err != nil {
+		fmt.Fprintf(os.Stderr, "grass-serve: -scenario: %v\n", err)
+		return 1
+	}
+	if *fltSeed != 0 {
+		sc.Faults.Seed = *fltSeed
+	}
 	tc := grass.DefaultTraceConfig(w, grass.Hadoop, b)
 	tc.Seed = *seed
 	tc.Slots = sc.Cluster.Machines * sc.Cluster.SlotsPerMachine
@@ -118,10 +131,16 @@ func run() int {
 		return 1
 	}
 
-	// Ctrl-C exercises the cancellation path: the service stops promptly,
-	// pooled state is abandoned consistently, and we exit nonzero.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	// Graceful shutdown: the FIRST SIGINT or SIGTERM closes admission —
+	// queued jobs drain, in-flight work completes, and the final SLO
+	// summary still prints (what an orchestrator's stop hook wants). A
+	// SECOND signal cancels outright: the service stops promptly, pooled
+	// state is abandoned consistently, and we exit nonzero with no summary.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
 
 	pace := grass.Pace{Mode: grass.TraceTimed, WallSpeed: *wall}
 	if *rate > 0 {
@@ -141,6 +160,17 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "grass-serve: %v\n", err)
 		return 1
 	}
+	go func() {
+		s, ok := <-sig
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "grass-serve: %v: closing admission, draining in-flight jobs (signal again to abort)\n", s)
+		srv.Close()
+		if _, ok := <-sig; ok {
+			cancel()
+		}
+	}()
 
 	fmt.Printf("serving %s/%s load under %q: partitions=%d pace=%s", *workload, *bound, *policy, *parts, pace.Mode)
 	if *rate > 0 {
@@ -151,6 +181,9 @@ func run() int {
 	}
 	if *forDur > 0 {
 		fmt.Printf(" for=%v", *forDur)
+	}
+	if sc.Faults.Enabled() {
+		fmt.Printf(" scenario=%s", *scenario)
 	}
 	fmt.Println()
 

@@ -34,6 +34,7 @@ import (
 	"github.com/approx-analytics/grass/internal/cluster"
 	"github.com/approx-analytics/grass/internal/core"
 	"github.com/approx-analytics/grass/internal/exp"
+	"github.com/approx-analytics/grass/internal/fault"
 	"github.com/approx-analytics/grass/internal/metrics"
 	"github.com/approx-analytics/grass/internal/sched"
 	"github.com/approx-analytics/grass/internal/serve"
@@ -64,6 +65,15 @@ type (
 	SimConfig = sched.Config
 	// ClusterConfig describes machines and slots.
 	ClusterConfig = cluster.Config
+	// FaultConfig is a deterministic fault schedule (SimConfig.Faults):
+	// machine crash/restart, correlated rack slowdown storms, and
+	// background-load interference. The zero value injects nothing and
+	// costs nothing. Fault randomness lives in its own seed substream, so
+	// enabling faults never perturbs the workload's own draws.
+	FaultConfig = fault.Config
+	// FaultStats counts the fault events a run's schedule applied
+	// (RunStats.Faults; all zero on a benign run).
+	FaultStats = sched.FaultStats
 	// TraceConfig parameterizes synthetic workload generation.
 	TraceConfig = trace.Config
 	// GrassConfig tunes the GRASS policy family (ξ, factors, strawman).
@@ -141,6 +151,21 @@ func DefaultTraceConfig(w Workload, f Framework, b BoundMode) TraceConfig {
 // three switching factors).
 func DefaultGrassConfig() GrassConfig { return core.DefaultConfig() }
 
+// FaultScenario resolves a named fault preset ("crashy", "rack-storm",
+// "contended", "overload-mixed"; "" and "none" mean no faults) to a
+// FaultConfig for SimConfig.Faults or WithFaults.
+func FaultScenario(name string) (FaultConfig, error) { return fault.Scenario(name) }
+
+// FaultScenarios lists the fault preset names in stable order.
+func FaultScenarios() []string { return fault.Scenarios() }
+
+// WithFaults attaches a deterministic fault schedule to a simulation — a
+// convenience over setting SimConfig.Faults directly, usable with every
+// options-pattern entry point. Under SimulateTrace's partitioned model the
+// schedule splits with the machines, so results stay byte-identical for
+// any shard count at a fixed partition count.
+func WithFaults(fc FaultConfig) SimOption { return func(o *simOptions) { o.faults = &fc } }
+
 // NewPolicy resolves a policy name to a factory. The boolean result
 // reports whether the policy needs oracle mode (ground-truth task views);
 // set SimConfig.Oracle accordingly (Simulate does this for you).
@@ -182,6 +207,7 @@ type simOptions struct {
 	fold       func(JobResult)
 	ctx        context.Context
 	factory    PolicyFactory
+	faults     *FaultConfig
 }
 
 // WithShards sets the number of worker goroutines executing the
@@ -247,6 +273,9 @@ func SimulateTrace(sc SimConfig, tc TraceConfig, policy string, opts ...SimOptio
 	}
 	if o.partitions <= 0 {
 		o.partitions = o.shards
+	}
+	if o.faults != nil {
+		sc.Faults = *o.faults
 	}
 	if err := tc.Validate(); err != nil {
 		return nil, err
@@ -329,6 +358,9 @@ func collectUnshardedOptions(entry string, opts []SimOption) (simOptions, error)
 // when the policy needs ground truth); otherwise the factory is used as
 // given.
 func runSim(cfg SimConfig, policy string, jobs []*Job, src JobSource, o simOptions) (*RunStats, error) {
+	if o.faults != nil {
+		cfg.Faults = *o.faults
+	}
 	factory := o.factory
 	if factory == nil {
 		f, oracleMode, err := exp.NewFactory(policy, cfg.Seed)

@@ -6,6 +6,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/approx-analytics/grass/internal/dist"
 )
@@ -30,6 +31,11 @@ func (c Config) Validate() error {
 	if c.SlotsPerMachine <= 0 {
 		return fmt.Errorf("cluster: %d slots per machine", c.SlotsPerMachine)
 	}
+	// NaN fails every ordered comparison, so "< 0" alone would wave it
+	// through into the lognormal sampler; reject non-finite values outright.
+	if math.IsNaN(c.HeterogeneitySigma) || math.IsInf(c.HeterogeneitySigma, 0) {
+		return fmt.Errorf("cluster: non-finite heterogeneity sigma %v", c.HeterogeneitySigma)
+	}
 	if c.HeterogeneitySigma < 0 {
 		return fmt.Errorf("cluster: negative heterogeneity sigma %v", c.HeterogeneitySigma)
 	}
@@ -44,11 +50,25 @@ type Machine struct {
 
 // Cluster tracks slot occupancy across machines. It is not safe for
 // concurrent use; the discrete-event simulator is single-threaded by design.
+//
+// Membership is dynamic: Crash removes a machine's slots from the pool
+// (running copies stay the caller's problem — Release on a down machine
+// parks the slot instead of refreeing it) and Restore brings them back.
+// SetFactor overlays a time-varying multiplier on a machine's static
+// Slowdown — the fault injector's rack-storm mechanism. Both overlays are
+// allocated lazily so a fault-free cluster pays nothing.
 type Cluster struct {
 	machines []Machine
 	free     []int // machine IDs with a free slot, one entry per free slot
+	// factor is a time-varying slowdown multiplier per machine (nil until
+	// the first SetFactor; 1.0 means unperturbed). Applied at Acquire time,
+	// so only copies launched during a perturbation are slowed.
+	factor []float64
+	// down marks crashed machines (nil until the first Crash).
+	down     []bool
 	busy     int
 	total    int
+	slotsPer int
 }
 
 // New builds a cluster, drawing machine slowdowns from a lognormal with the
@@ -60,6 +80,7 @@ func New(cfg Config, rng *dist.RNG) (*Cluster, error) {
 	c := &Cluster{
 		machines: make([]Machine, cfg.Machines),
 		total:    cfg.Machines * cfg.SlotsPerMachine,
+		slotsPer: cfg.SlotsPerMachine,
 	}
 	ln := dist.Lognormal{Mu: 0, Sigma: cfg.HeterogeneitySigma}
 	for i := range c.machines {
@@ -111,11 +132,114 @@ func (c *Cluster) Acquire(rng *dist.RNG) (Machine, bool) {
 	c.free[i] = c.free[len(c.free)-1]
 	c.free = c.free[:len(c.free)-1]
 	c.busy++
-	return c.machines[id], true
+	m := c.machines[id]
+	if c.factor != nil {
+		m.Slowdown *= c.factor[id]
+	}
+	return m, true
 }
 
-// Release returns a slot on machine id to the free pool. It panics if more
-// slots are released than were acquired — that is always a simulator bug.
+// AcquireOn takes one free slot on the given machine, or reports false if
+// the machine is down, unknown, or has no free slot. The fault injector's
+// background-interference bursts use it to pin load to specific machines;
+// unlike Acquire it draws no randomness.
+func (c *Cluster) AcquireOn(id int) bool {
+	if id < 0 || id >= len(c.machines) {
+		return false
+	}
+	if c.down != nil && c.down[id] {
+		return false
+	}
+	for i, fid := range c.free {
+		if fid == id {
+			c.free[i] = c.free[len(c.free)-1]
+			c.free = c.free[:len(c.free)-1]
+			c.busy++
+			return true
+		}
+	}
+	return false
+}
+
+// Crash takes machine id out of the cluster: its free slots leave the pool
+// and its capacity leaves TotalSlots. Slots currently running copies remain
+// counted busy until the caller kills the copies and Releases them (those
+// releases park rather than refree — see Release). Reports false if the
+// machine is already down or unknown.
+func (c *Cluster) Crash(id int) bool {
+	if id < 0 || id >= len(c.machines) {
+		return false
+	}
+	if c.down == nil {
+		c.down = make([]bool, len(c.machines))
+	}
+	if c.down[id] {
+		return false
+	}
+	c.down[id] = true
+	// Compact the free list in place, dropping this machine's entries.
+	kept := c.free[:0]
+	for _, fid := range c.free {
+		if fid != id {
+			kept = append(kept, fid)
+		}
+	}
+	c.free = kept
+	c.total -= c.slotsPer
+	return true
+}
+
+// Restore brings a crashed machine back with all its slots free. By the
+// time a restore fires, every copy that was running on the machine has been
+// killed and its slot parked, so exactly slotsPer slots return. Reports
+// false if the machine is not down.
+func (c *Cluster) Restore(id int) bool {
+	if id < 0 || id >= len(c.machines) || c.down == nil || !c.down[id] {
+		return false
+	}
+	c.down[id] = false
+	for s := 0; s < c.slotsPer; s++ {
+		c.free = append(c.free, id)
+	}
+	c.total += c.slotsPer
+	return true
+}
+
+// Down reports whether machine id is currently crashed.
+func (c *Cluster) Down(id int) bool {
+	return c.down != nil && id >= 0 && id < len(c.down) && c.down[id]
+}
+
+// SetFactor sets machine id's time-varying slowdown multiplier, applied on
+// top of its static Slowdown for copies acquired while it is in effect.
+func (c *Cluster) SetFactor(id int, f float64) {
+	if c.factor == nil {
+		c.factor = make([]float64, len(c.machines))
+		for i := range c.factor {
+			c.factor[i] = 1
+		}
+	}
+	c.factor[id] = f
+}
+
+// Factor returns machine id's current time-varying multiplier (1.0 when
+// none has been set).
+func (c *Cluster) Factor(id int) float64 {
+	if c.factor == nil {
+		return 1
+	}
+	return c.factor[id]
+}
+
+// Machines returns the number of machines the cluster was built with,
+// including any currently down.
+func (c *Cluster) Machines() int { return len(c.machines) }
+
+// Release returns a slot on machine id to the free pool. If the machine is
+// down, the slot is parked instead: it leaves the busy count but does not
+// rejoin the free list (Restore re-adds the machine's full capacity). It
+// panics if more slots are released than were acquired — that is always a
+// simulator bug.
 func (c *Cluster) Release(id int) {
 	if c.busy <= 0 {
 		panic("cluster: Release without matching Acquire")
@@ -124,6 +248,9 @@ func (c *Cluster) Release(id int) {
 		panic(fmt.Sprintf("cluster: Release of unknown machine %d", id))
 	}
 	c.busy--
+	if c.down != nil && c.down[id] {
+		return
+	}
 	c.free = append(c.free, id)
 }
 

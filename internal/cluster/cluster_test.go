@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -156,3 +157,254 @@ func TestSlotConservationProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestConfigValidateNonFinite(t *testing.T) {
+	cases := []struct {
+		name  string
+		sigma float64
+		ok    bool
+	}{
+		{"zero", 0, true},
+		{"positive", 0.3, true},
+		{"negative", -1, false},
+		{"nan", math.NaN(), false},
+		{"+inf", math.Inf(1), false},
+		{"-inf", math.Inf(-1), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Config{Machines: 1, SlotsPerMachine: 1, HeterogeneitySigma: tc.sigma}.Validate()
+			if (err == nil) != tc.ok {
+				t.Fatalf("sigma=%v: got err=%v, want ok=%v", tc.sigma, err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestCrashRestore(t *testing.T) {
+	rng := dist.NewRNG(6)
+	c, _ := New(Config{Machines: 3, SlotsPerMachine: 2}, rng)
+	if !c.Crash(1) {
+		t.Fatal("Crash(1) failed on a healthy machine")
+	}
+	if c.Crash(1) {
+		t.Fatal("Crash(1) succeeded twice")
+	}
+	if c.Crash(-1) || c.Crash(99) {
+		t.Fatal("Crash accepted an unknown machine")
+	}
+	if !c.Down(1) || c.Down(0) || c.Down(2) {
+		t.Fatal("Down flags wrong after crash")
+	}
+	if c.TotalSlots() != 4 || c.FreeSlots() != 4 {
+		t.Fatalf("after crash: total=%d free=%d, want 4 4", c.TotalSlots(), c.FreeSlots())
+	}
+	// No Acquire may land on the down machine.
+	for i := 0; i < 4; i++ {
+		m, ok := c.Acquire(rng)
+		if !ok || m.ID == 1 {
+			t.Fatalf("acquire %d: ok=%v id=%d", i, ok, m.ID)
+		}
+	}
+	if c.Restore(0) {
+		t.Fatal("Restore succeeded on a machine that is up")
+	}
+	if !c.Restore(1) {
+		t.Fatal("Restore(1) failed")
+	}
+	if c.Down(1) {
+		t.Fatal("machine still down after restore")
+	}
+	if c.TotalSlots() != 6 || c.FreeSlots() != 2 || c.BusySlots() != 4 {
+		t.Fatalf("after restore: total=%d free=%d busy=%d", c.TotalSlots(), c.FreeSlots(), c.BusySlots())
+	}
+}
+
+func TestCrashWithRunningCopiesParksReleases(t *testing.T) {
+	rng := dist.NewRNG(7)
+	c, _ := New(Config{Machines: 2, SlotsPerMachine: 2}, rng)
+	// Occupy both slots of machine 0 via AcquireOn.
+	if !c.AcquireOn(0) || !c.AcquireOn(0) {
+		t.Fatal("AcquireOn(0) failed with free slots")
+	}
+	if !c.Crash(0) {
+		t.Fatal("Crash(0) failed")
+	}
+	// The two running copies' slots are still busy; total already shrank.
+	if c.TotalSlots() != 2 || c.FreeSlots() != 2 || c.BusySlots() != 2 {
+		t.Fatalf("mid-crash: total=%d free=%d busy=%d", c.TotalSlots(), c.FreeSlots(), c.BusySlots())
+	}
+	// Killing the copies parks their slots: busy drops, free does not grow.
+	c.Release(0)
+	c.Release(0)
+	if c.FreeSlots() != 2 || c.BusySlots() != 0 {
+		t.Fatalf("after parked releases: free=%d busy=%d", c.FreeSlots(), c.BusySlots())
+	}
+	// Restore returns the machine's full capacity exactly once.
+	if !c.Restore(0) {
+		t.Fatal("Restore(0) failed")
+	}
+	if c.TotalSlots() != 4 || c.FreeSlots() != 4 || c.BusySlots() != 0 {
+		t.Fatalf("after restore: total=%d free=%d busy=%d", c.TotalSlots(), c.FreeSlots(), c.BusySlots())
+	}
+}
+
+func TestAcquireOn(t *testing.T) {
+	rng := dist.NewRNG(8)
+	c, _ := New(Config{Machines: 2, SlotsPerMachine: 1}, rng)
+	if c.AcquireOn(-1) || c.AcquireOn(2) {
+		t.Fatal("AcquireOn accepted an unknown machine")
+	}
+	if !c.AcquireOn(1) {
+		t.Fatal("AcquireOn(1) failed with a free slot")
+	}
+	if c.AcquireOn(1) {
+		t.Fatal("AcquireOn(1) succeeded with no free slot")
+	}
+	c.Crash(0)
+	if c.AcquireOn(0) {
+		t.Fatal("AcquireOn succeeded on a down machine")
+	}
+	c.Release(1)
+	if c.FreeSlots() != 1 || c.BusySlots() != 0 {
+		t.Fatalf("free=%d busy=%d", c.FreeSlots(), c.BusySlots())
+	}
+}
+
+func TestSetFactorAppliesAtAcquire(t *testing.T) {
+	rng := dist.NewRNG(9)
+	c, _ := New(Config{Machines: 1, SlotsPerMachine: 2}, rng)
+	m, _ := c.Acquire(rng)
+	if m.Slowdown != 1 {
+		t.Fatalf("unperturbed slowdown %v, want 1", m.Slowdown)
+	}
+	if c.Factor(0) != 1 {
+		t.Fatalf("default factor %v, want 1", c.Factor(0))
+	}
+	c.SetFactor(0, 3)
+	if c.Factor(0) != 3 {
+		t.Fatalf("factor %v, want 3", c.Factor(0))
+	}
+	m2, _ := c.Acquire(rng)
+	if m2.Slowdown != 3 {
+		t.Fatalf("perturbed slowdown %v, want 3", m2.Slowdown)
+	}
+	// The copy acquired before the perturbation keeps its machine's static
+	// view (launch-time semantics); the raw Machine accessor stays static.
+	if c.Machine(0).Slowdown != 1 {
+		t.Fatalf("static Machine slowdown %v, want 1", c.Machine(0).Slowdown)
+	}
+	c.SetFactor(0, 1)
+	c.Release(m.ID)
+	m3, _ := c.Acquire(rng)
+	if m3.Slowdown != 1 {
+		t.Fatalf("restored slowdown %v, want 1", m3.Slowdown)
+	}
+}
+
+func TestFreeSlotsUnderSaturation(t *testing.T) {
+	rng := dist.NewRNG(10)
+	c, _ := New(Config{Machines: 2, SlotsPerMachine: 2}, rng)
+	for i := 0; i < 4; i++ {
+		if _, ok := c.Acquire(rng); !ok {
+			t.Fatalf("acquire %d failed", i)
+		}
+	}
+	if c.FreeSlots() != 0 {
+		t.Fatalf("saturated FreeSlots %d, want 0", c.FreeSlots())
+	}
+	if _, ok := c.Acquire(rng); ok {
+		t.Fatal("Acquire succeeded on a saturated cluster")
+	}
+	if c.AcquireOn(0) {
+		t.Fatal("AcquireOn succeeded on a saturated cluster")
+	}
+	if c.Utilization() != 1 {
+		t.Fatalf("saturated utilization %v, want 1", c.Utilization())
+	}
+}
+
+// TestFreeListConsistencyWithFaults extends the slot-conservation property
+// to the dynamic-membership operations: under any interleaving of acquire,
+// release, targeted acquire, crash and restore, the free list never holds a
+// down machine, never exceeds capacity, and free+busy == total once no
+// running copy remains parked on a down machine.
+func TestFreeListConsistencyWithFaults(t *testing.T) {
+	if err := quick.Check(func(seed int64, ops []byte) bool {
+		rng := dist.NewRNG(seed)
+		const machines, slots = 4, 2
+		c, err := New(Config{Machines: machines, SlotsPerMachine: slots}, rng)
+		if err != nil {
+			return false
+		}
+		var held []int
+		parked := 0 // copies still busy on a down machine
+		for _, op := range ops {
+			id := int(op>>4) % machines
+			switch op % 5 {
+			case 0:
+				if m, ok := c.Acquire(rng); ok {
+					held = append(held, m.ID)
+				}
+			case 1:
+				if c.AcquireOn(id) {
+					held = append(held, id)
+				}
+			case 2:
+				if len(held) > 0 {
+					m := held[len(held)-1]
+					held = held[:len(held)-1]
+					if c.Down(m) {
+						parked--
+					}
+					c.Release(m)
+				}
+			case 3:
+				if c.Crash(id) {
+					for _, m := range held {
+						if m == id {
+							parked++
+						}
+					}
+				}
+			case 4:
+				if c.Down(id) {
+					// Only restore once nothing is parked on it, mirroring
+					// the injector's kill-then-restore ordering.
+					stillHeld := false
+					for _, m := range held {
+						if m == id {
+							stillHeld = true
+							break
+						}
+					}
+					if !stillHeld {
+						c.Restore(id)
+					}
+				}
+			}
+			// Invariants after every op.
+			if c.FreeSlots()+c.BusySlots() != c.TotalSlots()+parked {
+				return false
+			}
+			if c.BusySlots() != len(held) {
+				return false
+			}
+			for i := 0; i < machines; i++ {
+				if c.Down(i) {
+					for _, fid := range freeList(c) {
+						if fid == i {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// freeList exposes the free list's contents for invariant checks.
+func freeList(c *Cluster) []int { return c.free }

@@ -15,6 +15,7 @@ package estimate
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/approx-analytics/grass/internal/dist"
@@ -37,18 +38,25 @@ type Config struct {
 	Window int
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration. NaN and ±Inf are rejected explicitly:
+// NaN fails every ordered comparison, so range checks alone would wave a
+// NaN sigma straight into the noise samplers.
 func (c Config) Validate() error {
-	if c.TRemNoise < 0 || c.TNewNoise < 0 {
-		return fmt.Errorf("estimate: negative noise (trem=%v, tnew=%v)", c.TRemNoise, c.TNewNoise)
+	if !finiteNonNegative(c.TRemNoise) || !finiteNonNegative(c.TNewNoise) {
+		return fmt.Errorf("estimate: noise sigmas must be finite and non-negative (trem=%v, tnew=%v)", c.TRemNoise, c.TNewNoise)
 	}
-	if c.Prior <= 0 {
-		return fmt.Errorf("estimate: prior %v must be positive", c.Prior)
+	if math.IsNaN(c.Prior) || math.IsInf(c.Prior, 0) || c.Prior <= 0 {
+		return fmt.Errorf("estimate: prior %v must be finite and positive", c.Prior)
 	}
 	if c.Window < 0 {
 		return fmt.Errorf("estimate: negative window %d", c.Window)
 	}
 	return nil
+}
+
+// finiteNonNegative reports v ∈ [0, +Inf) excluding NaN.
+func finiteNonNegative(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
 }
 
 // Estimator produces noisy t_rem / t_new estimates and tracks their measured

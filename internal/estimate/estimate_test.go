@@ -17,15 +17,29 @@ func newTest(t *testing.T, cfg Config, seed int64) *Estimator {
 }
 
 func TestConfigValidate(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
 	bad := []Config{
 		{TRemNoise: -1, Prior: 1},
 		{TNewNoise: -1, Prior: 1},
 		{Prior: 0},
 		{Prior: 1, Window: -1},
+		// NaN passes every ordered comparison, so each float field must
+		// reject it explicitly; ±Inf passes one-sided range checks.
+		{TRemNoise: nan, Prior: 1},
+		{TNewNoise: nan, Prior: 1},
+		{TRemNoise: inf, Prior: 1},
+		{Prior: nan},
+		{Prior: inf},
 	}
 	for i, c := range bad {
 		if c.Validate() == nil {
 			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	good := []Config{{Prior: 1}, {TRemNoise: 0.4, TNewNoise: 0.15, Prior: 1, Window: 64}}
+	for i, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("good case %d rejected: %v", i, err)
 		}
 	}
 }

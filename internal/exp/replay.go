@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/approx-analytics/grass/internal/core"
+	"github.com/approx-analytics/grass/internal/fault"
 	"github.com/approx-analytics/grass/internal/sched"
 	"github.com/approx-analytics/grass/internal/simevent"
 	"github.com/approx-analytics/grass/internal/spec"
@@ -79,6 +80,15 @@ type ReplayConfig struct {
 	TraceFile    string
 	TraceFormat  traceio.Format
 	TraceOptions *traceio.Options
+
+	// Scenario names a fault-injection preset (fault.Scenarios: "crashy",
+	// "rack-storm", "contended", "overload-mixed"); "" and "none" replay a
+	// benign cluster, byte-identical to a build without fault support.
+	// FaultSeed, when non-zero, pins the fault timeline independently of
+	// Seed, so the same fault schedule can be replayed under different
+	// workload seeds (and vice versa); 0 derives the timeline from Seed.
+	Scenario  string
+	FaultSeed int64
 
 	// Learner selects the GRASS learner implementation by name ("" or
 	// "ring" for the per-partition ring store, "sketch" for the mergeable
@@ -144,6 +154,13 @@ type ReplayStats struct {
 	Learner     string
 	LearnEpochs int
 
+	// Scenario echoes the fault preset the replay ran under ("" when
+	// benign); Faults are the cluster-wide applied fault counts and Lost the
+	// crash-killed copies, summed across partitions. All zero when benign.
+	Scenario string
+	Faults   sched.FaultStats
+	Lost     int64
+
 	// Per-class aggregates: deadline jobs report mean accuracy, error-bound
 	// (and exact) jobs mean input duration — the paper's two headline axes.
 	DeadlineJobs     int
@@ -187,6 +204,12 @@ func (r *ReplayStats) Render(w io.Writer) {
 	fmt.Fprintf(w, "%-24s %12d   mean accuracy  %8.4f\n", "deadline jobs", r.DeadlineJobs, r.MeanAccuracy)
 	fmt.Fprintf(w, "%-24s %12d   mean input dur %8.2f\n", "error/exact jobs", r.ErrorJobs, r.MeanInputDur)
 	fmt.Fprintf(w, "%-24s %12d   killed %d\n", "copies launched", r.Launched, r.Killed)
+	// The fault line exists only under a scenario, so benign replay output
+	// stays byte-identical to the pre-fault pipeline (the goldens pin it).
+	if r.Scenario != "" {
+		fmt.Fprintf(w, "%-24s %s: %d crashes (%d copies lost), %d storms, %d bursts (%d slots)\n",
+			"fault scenario", r.Scenario, r.Faults.Crashes, r.Lost, r.Faults.Storms, r.Faults.Bursts, r.Faults.InterferedSlots)
+	}
 	fmt.Fprintf(w, "%-24s %9.1f MiB (heap in use), %.1f MiB (heap from OS)\n",
 		"memory high-water", float64(r.HeapHighWater)/(1<<20), float64(r.HeapSysHighWater)/(1<<20))
 }
@@ -329,12 +352,20 @@ func Replay(cfg ReplayConfig) (*ReplayStats, error) {
 	if err != nil {
 		return nil, err
 	}
+	fc, err := fault.Scenario(cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FaultSeed != 0 {
+		fc.Seed = cfg.FaultSeed
+	}
 	scfg := sched.DefaultConfig()
 	scfg.Cluster.Machines = cfg.Machines
 	scfg.Cluster.SlotsPerMachine = cfg.SlotsPerMachine
 	scfg.Seed = cfg.Seed
 	scfg.Oracle = oracleMode
 	scfg.EventQueue = cfg.Queue
+	scfg.Faults = fc
 	// The default event ceiling guards tests; a million-job replay
 	// legitimately fires hundreds of millions of events.
 	scfg.MaxEvents = uint64(cfg.Jobs)*2000 + 1_000_000
@@ -342,6 +373,9 @@ func Replay(cfg ReplayConfig) (*ReplayStats, error) {
 	rs := &ReplayStats{
 		Jobs: cfg.Jobs, Partitions: cfg.Partitions, Shards: cfg.Shards,
 		Learner: learner.String(), LearnEpochs: epochs,
+	}
+	if fc.Enabled() {
+		rs.Scenario = cfg.Scenario
 	}
 	var accSum, durSum float64
 	fold := func(r sched.JobResult) {
@@ -355,6 +389,7 @@ func Replay(cfg ReplayConfig) (*ReplayStats, error) {
 		}
 		rs.Launched += int64(r.Launched)
 		rs.Killed += int64(r.Killed)
+		rs.Lost += int64(r.Lost)
 	}
 
 	// The partitioned runner: Partitions is the model, Shards the worker
@@ -426,6 +461,7 @@ func Replay(cfg ReplayConfig) (*ReplayStats, error) {
 	rs.Events = stats.Events
 	rs.Makespan = stats.Makespan
 	rs.MeanUtilization = stats.MeanUtilization
+	rs.Faults = stats.Faults
 	if rs.DeadlineJobs > 0 {
 		rs.MeanAccuracy = accSum / float64(rs.DeadlineJobs)
 	}

@@ -1,0 +1,224 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero", Config{}, true},
+		{"crashes", Config{CrashEvery: 10, CrashDowntime: 5}, true},
+		{"crash no downtime", Config{CrashEvery: 10}, false},
+		{"crash nan every", Config{CrashEvery: nan, CrashDowntime: 5}, false},
+		{"crash inf downtime", Config{CrashEvery: 10, CrashDowntime: inf}, false},
+		{"crash negative", Config{CrashEvery: -1, CrashDowntime: 5}, false},
+		{"storms", Config{StormEvery: 10, StormDuration: 5, StormFactor: 2, RackSize: 4}, true},
+		{"storm no rack", Config{StormEvery: 10, StormDuration: 5, StormFactor: 2}, false},
+		{"storm no duration", Config{StormEvery: 10, StormFactor: 2, RackSize: 4}, false},
+		{"storm no factor", Config{StormEvery: 10, StormDuration: 5, RackSize: 4}, false},
+		{"storm nan factor", Config{StormEvery: 10, StormDuration: 5, StormFactor: nan, RackSize: 4}, false},
+		{"interference", Config{InterfereEvery: 10, InterfereDuration: 5, InterfereSlots: 1}, true},
+		{"interfere no slots", Config{InterfereEvery: 10, InterfereDuration: 5}, false},
+		{"interfere no duration", Config{InterfereEvery: 10, InterfereSlots: 1}, false},
+		{"interfere nan every", Config{InterfereEvery: nan, InterfereDuration: 5, InterfereSlots: 1}, false},
+		// Disabled channels ignore their other parameters.
+		{"idle params", Config{CrashDowntime: 7, StormFactor: 3, InterfereSlots: 2}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if (err == nil) != tc.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	if (Config{CrashDowntime: 5, StormFactor: 2, InterfereSlots: 1}).Enabled() {
+		t.Fatal("config with only idle parameters reports enabled")
+	}
+	for _, c := range []Config{
+		{CrashEvery: 1, CrashDowntime: 1},
+		{StormEvery: 1, StormDuration: 1, StormFactor: 2, RackSize: 4},
+		{InterfereEvery: 1, InterfereDuration: 1, InterfereSlots: 1},
+	} {
+		if !c.Enabled() {
+			t.Fatalf("%+v reports disabled", c)
+		}
+	}
+}
+
+func TestScenarios(t *testing.T) {
+	names := Scenarios()
+	want := []string{"contended", "crashy", "overload-mixed", "rack-storm"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("Scenarios() = %v, want %v", names, want)
+	}
+	for _, n := range names {
+		c, err := Scenario(n)
+		if err != nil {
+			t.Fatalf("Scenario(%q): %v", n, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("preset %q does not validate: %v", n, err)
+		}
+		if !c.Enabled() {
+			t.Fatalf("preset %q is disabled", n)
+		}
+	}
+	for _, n := range []string{"", "none"} {
+		c, err := Scenario(n)
+		if err != nil || c.Enabled() {
+			t.Fatalf("Scenario(%q) = %+v, %v; want zero config", n, c, err)
+		}
+	}
+	if _, err := Scenario("nope"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestShard(t *testing.T) {
+	base := Config{
+		RackSize:   4,
+		CrashEvery: 10, CrashDowntime: 5,
+		StormEvery: 20, StormDuration: 5, StormFactor: 2,
+		InterfereEvery: 40, InterfereDuration: 5, InterfereSlots: 1,
+	}
+	// One partition is the identity — the plain engine byte-for-byte.
+	if got := base.Shard(0, 1, 200, 200); !reflect.DeepEqual(got, base) {
+		t.Fatalf("Shard(parts=1) changed the config: %+v", got)
+	}
+	// A partition owning a quarter of the machines sees a quarter of each
+	// channel's rate: mean gaps scale by 4.
+	got := base.Shard(1, 4, 50, 200)
+	if got.CrashEvery != 40 || got.StormEvery != 80 || got.InterfereEvery != 160 {
+		t.Fatalf("scaled gaps %v %v %v, want 40 80 160", got.CrashEvery, got.StormEvery, got.InterfereEvery)
+	}
+	// Durations, factors and sizes are intensive — unscaled.
+	if got.CrashDowntime != 5 || got.StormDuration != 5 || got.StormFactor != 2 ||
+		got.InterfereDuration != 5 || got.InterfereSlots != 1 || got.RackSize != 4 {
+		t.Fatalf("intensive fields changed: %+v", got)
+	}
+	// A derived (zero) seed stays zero — the partition split rides the
+	// already-rewritten simulation seed. A pinned seed splits per partition.
+	if got.Seed != 0 {
+		t.Fatalf("derived seed became %d", got.Seed)
+	}
+	pinned := base
+	pinned.Seed = 99
+	s1 := pinned.Shard(1, 4, 50, 200).Seed
+	s2 := pinned.Shard(2, 4, 50, 200).Seed
+	if s1 == 99 || s2 == 99 || s1 == s2 {
+		t.Fatalf("pinned seed did not split per partition: %d %d", s1, s2)
+	}
+	// A disabled schedule shards to itself.
+	if got := (Config{}).Shard(1, 4, 50, 200); got.Enabled() || !reflect.DeepEqual(got, Config{}) {
+		t.Fatalf("disabled schedule changed under Shard: %+v", got)
+	}
+}
+
+func TestStreamDeterminismAndIndependence(t *testing.T) {
+	cfg := Config{
+		RackSize:   5,
+		CrashEvery: 10, CrashDowntime: 5,
+		StormEvery: 20, StormDuration: 5, StormFactor: 2,
+		InterfereEvery: 40, InterfereDuration: 5, InterfereSlots: 1,
+	}
+	type draw struct {
+		t float64
+		i int
+	}
+	run := func(interleave bool) (crashes, storms, intfs []draw) {
+		s := NewStream(cfg, 7, 20)
+		now := 0.0
+		for k := 0; k < 50; k++ {
+			ct, cm := s.NextCrash(now)
+			crashes = append(crashes, draw{ct, cm})
+			if interleave {
+				// Extra draws on the other channels between crash draws.
+				st, sr := s.NextStorm(now)
+				storms = append(storms, draw{st, sr})
+				it, im := s.NextInterfere(now)
+				intfs = append(intfs, draw{it, im})
+			}
+		}
+		if !interleave {
+			for k := 0; k < 50; k++ {
+				st, sr := s.NextStorm(now)
+				storms = append(storms, draw{st, sr})
+				it, im := s.NextInterfere(now)
+				intfs = append(intfs, draw{it, im})
+			}
+		}
+		return
+	}
+	c1, s1, i1 := run(true)
+	c2, s2, i2 := run(false)
+	// Channel independence: the crash sequence is identical whether or not
+	// storm/interference draws interleave, and vice versa.
+	if !reflect.DeepEqual(c1, c2) || !reflect.DeepEqual(s1, s2) || !reflect.DeepEqual(i1, i2) {
+		t.Fatal("channel draw sequences depend on interleaving")
+	}
+	for _, d := range c1 {
+		if d.t <= 0 || d.i < 0 || d.i >= 20 {
+			t.Fatalf("crash draw out of range: %+v", d)
+		}
+	}
+	for _, d := range s1 {
+		if d.i < 0 || d.i >= s1StreamRacks(cfg, 20) {
+			t.Fatalf("storm rack out of range: %+v", d)
+		}
+	}
+	// Different sim seeds (derived fault seed) give different timelines;
+	// a pinned Seed overrides the sim seed entirely.
+	a := NewStream(cfg, 7, 20)
+	b := NewStream(cfg, 8, 20)
+	at, _ := a.NextCrash(0)
+	bt, _ := b.NextCrash(0)
+	if at == bt {
+		t.Fatal("different sim seeds drew the identical first crash")
+	}
+	pinned := cfg
+	pinned.Seed = 42
+	p1 := NewStream(pinned, 7, 20)
+	p2 := NewStream(pinned, 8, 20)
+	p1t, p1m := p1.NextCrash(0)
+	p2t, p2m := p2.NextCrash(0)
+	if p1t != p2t || p1m != p2m {
+		t.Fatal("pinned fault seed still varies with the sim seed")
+	}
+}
+
+func s1StreamRacks(cfg Config, machines int) int {
+	return (machines + cfg.RackSize - 1) / cfg.RackSize
+}
+
+func TestRackRange(t *testing.T) {
+	cfg := Config{RackSize: 8, StormEvery: 1, StormDuration: 1, StormFactor: 2}
+	s := NewStream(cfg, 1, 20) // racks: [0,8) [8,16) [16,20)
+	if s.Racks() != 3 {
+		t.Fatalf("Racks() = %d, want 3", s.Racks())
+	}
+	cases := [][3]int{{0, 0, 8}, {1, 8, 16}, {2, 16, 20}}
+	for _, c := range cases {
+		lo, hi := s.RackRange(c[0])
+		if lo != c[1] || hi != c[2] {
+			t.Fatalf("RackRange(%d) = [%d,%d), want [%d,%d)", c[0], lo, hi, c[1], c[2])
+		}
+	}
+	none := NewStream(Config{}, 1, 20)
+	if none.Racks() != 0 {
+		t.Fatalf("rackless stream has %d racks", none.Racks())
+	}
+}

@@ -1,0 +1,78 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Named scenario presets. Rates are in simulator time units against the
+// default cluster (200 machines × 2 slots, Hadoop task scale ≈ 10 units
+// median copy duration): the mean number of concurrently-applied faults is
+// duration/every per channel, so each preset states its steady-state
+// intensity rather than leaving it implicit.
+var scenarios = map[string]Config{
+	// crashy: machine churn. A crash roughly every 25 time units with 200
+	// units of downtime keeps ≈ 8 of 200 machines (4% of capacity) down on
+	// average, each crash killing the copies running on it — the pure
+	// lost-work/respeculation scenario.
+	"crashy": {
+		CrashEvery:    25,
+		CrashDowntime: 200,
+	},
+	// rack-storm: correlated stragglers. Racks of 20 machines; a storm
+	// roughly every 60 units slowing one whole rack 3× for 90 units keeps
+	// ≈ 1.5 racks (15% of the cluster) stormed on average — the paper's
+	// machine heterogeneity (§2.1) made time-varying and spatially
+	// correlated, the regime speculation policies disagree about most.
+	"rack-storm": {
+		RackSize:      20,
+		StormEvery:    60,
+		StormDuration: 90,
+		StormFactor:   3,
+	},
+	// contended: background load. A burst roughly every 4 units seizing up
+	// to 2 free slots on one machine for 50 units keeps ≈ 25 slots of 400
+	// (6% of capacity) occupied by invisible external work.
+	"contended": {
+		InterfereEvery:    4,
+		InterfereDuration: 50,
+		InterfereSlots:    2,
+	},
+	// overload-mixed: all three channels at moderate intensity — ≈ 2% of
+	// machines down, ≈ 1 rack stormed, ≈ 3% of slots interfered — the
+	// hostile-but-survivable cluster a production scheduler actually sees.
+	"overload-mixed": {
+		RackSize:          20,
+		CrashEvery:        50,
+		CrashDowntime:     100,
+		StormEvery:        100,
+		StormDuration:     80,
+		StormFactor:       2.5,
+		InterfereEvery:    10,
+		InterfereDuration: 40,
+		InterfereSlots:    2,
+	},
+}
+
+// Scenario resolves a named fault preset. "" and "none" mean no faults
+// (the zero Config).
+func Scenario(name string) (Config, error) {
+	if name == "" || name == "none" {
+		return Config{}, nil
+	}
+	c, ok := scenarios[name]
+	if !ok {
+		return Config{}, fmt.Errorf("fault: unknown scenario %q (have %v)", name, Scenarios())
+	}
+	return c, nil
+}
+
+// Scenarios lists the preset names in stable order.
+func Scenarios() []string {
+	names := make([]string, 0, len(scenarios))
+	for n := range scenarios {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

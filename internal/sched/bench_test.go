@@ -9,6 +9,7 @@ import (
 	"github.com/approx-analytics/grass/internal/cluster"
 	"github.com/approx-analytics/grass/internal/core"
 	"github.com/approx-analytics/grass/internal/estimate"
+	"github.com/approx-analytics/grass/internal/fault"
 	"github.com/approx-analytics/grass/internal/simevent"
 	"github.com/approx-analytics/grass/internal/spec"
 	"github.com/approx-analytics/grass/internal/task"
@@ -171,6 +172,74 @@ func BenchmarkSimulatorQuick(b *testing.B) {
 	})
 	b.Run("grass-sketch", func(b *testing.B) {
 		runSimBench(b, false, false, simevent.Calendar, func() spec.Factory { return benchGrassFactory(core.LearnerSketch) })
+	})
+}
+
+// BenchmarkSimulatorFaults prices the fault-injection path: the same full
+// mixed-workload simulation as BenchmarkSimulatorQuick, off versus under the
+// rack-storm scenario, for the cheapest policy (nospec) and the learning one
+// (grass). The "off" variants must match the BenchmarkSimulatorQuick
+// baselines — faults disabled means no injector is even constructed, so the
+// hot path pays only a nil check (scripts/perfwall.sh walls the byte-level
+// half of that claim; this benchmark tracks the per-event cost). The storm
+// variants price an active schedule: extra AtLast events, slowdown-factor
+// rewrites and the respeculation they trigger.
+func BenchmarkSimulatorFaults(b *testing.B) {
+	storm := func() fault.Config {
+		fc, err := fault.Scenario("rack-storm")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return fc
+	}
+	run := func(b *testing.B, fc fault.Config, factory func() spec.Factory) {
+		b.Helper()
+		jobs := benchJobs(60)
+		var events, allocs uint64
+		var nanos int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cfg := benchConfig(1)
+			cfg.Faults = fc
+			s, err := New(cfg, factory())
+			if err != nil {
+				b.Fatal(err)
+			}
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			b.StartTimer()
+			t0 := time.Now()
+			stats, err := s.Run(jobs)
+			nanos += time.Since(t0).Nanoseconds()
+			b.StopTimer()
+			runtime.ReadMemStats(&m1)
+			b.StartTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if fc.Enabled() && stats.Faults.Storms == 0 {
+				b.Fatal("storm scenario fired no storms")
+			}
+			events += stats.Events
+			allocs += m1.Mallocs - m0.Mallocs
+		}
+		if events > 0 {
+			b.ReportMetric(float64(allocs)/float64(events), "allocs/event")
+			b.ReportMetric(float64(nanos)/float64(events), "ns/event")
+		}
+	}
+	b.Run("nospec-off", func(b *testing.B) {
+		run(b, fault.Config{}, func() spec.Factory { return spec.Stateless(spec.NoSpec{}) })
+	})
+	b.Run("nospec-storm", func(b *testing.B) {
+		run(b, storm(), func() spec.Factory { return spec.Stateless(spec.NoSpec{}) })
+	})
+	b.Run("grass-off", func(b *testing.B) {
+		run(b, fault.Config{}, func() spec.Factory { return benchGrassFactory(core.LearnerRing) })
+	})
+	b.Run("grass-storm", func(b *testing.B) {
+		run(b, storm(), func() spec.Factory { return benchGrassFactory(core.LearnerRing) })
 	})
 }
 

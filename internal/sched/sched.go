@@ -17,6 +17,7 @@ import (
 	"github.com/approx-analytics/grass/internal/cluster"
 	"github.com/approx-analytics/grass/internal/dist"
 	"github.com/approx-analytics/grass/internal/estimate"
+	"github.com/approx-analytics/grass/internal/fault"
 	"github.com/approx-analytics/grass/internal/simevent"
 	"github.com/approx-analytics/grass/internal/task"
 )
@@ -60,6 +61,12 @@ type Config struct {
 	// the reference implementation kept for differential testing. Both
 	// produce byte-identical runs — only throughput differs.
 	EventQueue simevent.QueueKind
+	// Faults is the deterministic fault schedule (machine crash/restart,
+	// rack slowdown storms, background-load interference). The zero value
+	// injects nothing and costs nothing: fault randomness lives in its own
+	// seed substream, so a fault-free run is byte-identical to a build
+	// without the feature.
+	Faults fault.Config
 	// Oracle gives policies ground-truth TaskViews: exact remaining times
 	// and the exact duration the next copy of each task would have. Used for
 	// the optimal baseline (§2.3, §6.2.3).
@@ -105,10 +112,17 @@ func (c Config) Validate() error {
 	if err := c.Estimator.Validate(); err != nil {
 		return err
 	}
-	if c.DurationBeta <= 0 {
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	// Every float bound below rejects NaN explicitly: NaN fails all ordered
+	// comparisons, so a range check alone waves it straight into the
+	// samplers (the bug class cluster.Config.Validate had with a NaN
+	// heterogeneity sigma).
+	if !finitePositive(c.DurationBeta) {
 		return fmt.Errorf("sched: duration beta %v", c.DurationBeta)
 	}
-	if c.DurationCap <= 1 {
+	if math.IsNaN(c.DurationCap) || c.DurationCap <= 1 {
 		return fmt.Errorf("sched: duration cap %v must exceed 1 (median multiples)", c.DurationCap)
 	}
 	if math.IsNaN(c.TailFrac) || c.TailFrac <= 0 || c.TailFrac > 1 {
@@ -116,17 +130,24 @@ func (c Config) Validate() error {
 	}
 	// The intermediate-phase distribution always halves TailFrac into a
 	// body-tail mixture, so TailStart must be sane even when TailFrac == 1
-	// selects a pure Pareto for input tasks.
-	if math.IsNaN(c.TailStart) || c.TailStart <= 1 {
-		return fmt.Errorf("sched: tail start %v must exceed the median (1)", c.TailStart)
+	// selects a pure Pareto for input tasks. A +Inf tail start would pass a
+	// "> 1" check but puts the tail beyond every cap.
+	if math.IsNaN(c.TailStart) || math.IsInf(c.TailStart, 0) || c.TailStart <= 1 {
+		return fmt.Errorf("sched: tail start %v must exceed the median (1) and be finite", c.TailStart)
 	}
-	if c.IntermediateBeta <= 0 {
+	if !finitePositive(c.IntermediateBeta) {
 		return fmt.Errorf("sched: intermediate beta %v", c.IntermediateBeta)
 	}
-	if c.MinSpecProgress < 0 || c.MinSpecProgress >= 1 {
+	if math.IsNaN(c.MinSpecProgress) || c.MinSpecProgress < 0 || c.MinSpecProgress >= 1 {
 		return fmt.Errorf("sched: min speculation progress %v out of [0, 1)", c.MinSpecProgress)
 	}
 	return nil
+}
+
+// finitePositive reports v ∈ (0, +Inf) excluding NaN — the shape every
+// Pareto-beta parameter must have.
+func finitePositive(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
 }
 
 // JobResult is the outcome of one job.
@@ -157,8 +178,11 @@ type JobResult struct {
 	InputDuration float64
 	// Launched counts every copy launched; Speculative counts the
 	// speculative ones; Killed counts copies killed by a sibling finishing;
-	// Preempted counts copies this job lost to fair-share preemption.
-	Launched, Speculative, Killed, Preempted int
+	// Preempted counts copies this job lost to fair-share preemption; Lost
+	// counts copies killed by machine crashes — unlike Preempted, the
+	// scheduler chose neither the victim nor the moment, and the lost
+	// task respeculates through the ordinary dispatch path.
+	Launched, Speculative, Killed, Preempted, Lost int
 	// StragglerRatio is the job's slowest completed input-task duration
 	// over the median (the paper reports ~8× in production).
 	StragglerRatio float64
@@ -177,6 +201,9 @@ type RunStats struct {
 	// EstimatorAccuracy is the measured combined estimation accuracy at the
 	// end of the run (§5.1 reports ~74%).
 	EstimatorAccuracy float64
+	// Faults counts the fault events the run's schedule applied (all zero
+	// without a fault schedule).
+	Faults FaultStats
 }
 
 // medianFactorXm returns the Pareto scale xm that makes a pure Pareto

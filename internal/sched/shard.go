@@ -65,10 +65,15 @@ func ShardConfig(cfg Config, part, parts int) Config {
 	if parts <= 1 {
 		return cfg
 	}
-	m := cfg.Cluster.Machines / parts
-	if part < cfg.Cluster.Machines%parts {
+	total := cfg.Cluster.Machines
+	m := total / parts
+	if part < total%parts {
 		m++
 	}
+	// The fault schedule partitions with the machines: each channel's rate
+	// scales by the partition's machine share (mean gaps stretch by
+	// total/m), so the cluster-wide fault intensity is invariant in P.
+	cfg.Faults = cfg.Faults.Shard(part, parts, m, total)
 	cfg.Cluster.Machines = m
 	cfg.Seed = ShardSeed(cfg.Seed, part, parts)
 	return cfg
@@ -492,6 +497,12 @@ func MergeShardStats(cfg Config, parts int, stats []*RunStats) *RunStats {
 		merged.Events += s.Events
 		busyIntegral += s.MeanUtilization * float64(slots) * s.Makespan
 		accWeighted += s.EstimatorAccuracy * float64(s.Events)
+		merged.Faults.Crashes += s.Faults.Crashes
+		merged.Faults.Restores += s.Faults.Restores
+		merged.Faults.Storms += s.Faults.Storms
+		merged.Faults.Bursts += s.Faults.Bursts
+		merged.Faults.LostCopies += s.Faults.LostCopies
+		merged.Faults.InterferedSlots += s.Faults.InterferedSlots
 	}
 	if merged.Makespan > 0 && totalSlots > 0 {
 		merged.MeanUtilization = busyIntegral / (float64(totalSlots) * merged.Makespan)

@@ -251,6 +251,14 @@ type Simulator struct {
 	prevArrival float64
 	srcErr      error
 
+	// flt is the fault injector, nil without a fault schedule — the nil
+	// check is the entire hot-path cost of the feature when disabled.
+	flt *faultInjector
+	// arrivalsQueued counts arrival events scheduled but not yet fired —
+	// with the active set it defines idleForFaults, evaluated identically
+	// for Run (all arrivals up front) and RunSource (one pending arrival).
+	arrivalsQueued int
+
 	// onResult, when set, receives each finished job's result instead of
 	// s.results accumulating them.
 	onResult func(JobResult)
@@ -447,6 +455,13 @@ func New(cfg Config, factory spec.Factory) (*Simulator, error) {
 	if s.interDist, err = newFactorDist(cfg.IntermediateBeta, cfg.DurationCap, interTail, cfg.TailStart); err != nil {
 		return nil, err
 	}
+	// The injector derives its randomness from the simulation seed through
+	// a reserved SubSeed tag (never root.Split()), so enabling faults does
+	// not perturb the placement/duration/estimator streams — and a zero
+	// schedule builds nothing at all.
+	if cfg.Faults.Enabled() {
+		s.flt = newFaultInjector(s, cfg.Faults)
+	}
 	return s, nil
 }
 
@@ -466,7 +481,11 @@ func (s *Simulator) Run(jobs []*task.Job) (*RunStats, error) {
 		j := j
 		// AtFirst: arrivals outrank same-time simulation events, so the
 		// admission order at tied timestamps matches RunSource's exactly.
-		s.eng.AtFirst(j.Arrival, func(*simevent.Engine) { s.admit(j) })
+		s.arrivalsQueued++
+		s.eng.AtFirst(j.Arrival, func(*simevent.Engine) {
+			s.arrivalsQueued--
+			s.admit(j)
+		})
 	}
 	return s.finishRun()
 }
@@ -554,6 +573,9 @@ func (s *Simulator) finishRun() (*RunStats, error) {
 		Events:            s.eng.Fired(),
 		EstimatorAccuracy: s.est.Accuracy(),
 	}
+	if s.flt != nil {
+		stats.Faults = s.flt.stats
+	}
 	if makespan > 0 {
 		stats.MeanUtilization = s.utilIntegral / makespan
 	}
@@ -570,6 +592,9 @@ func (s *Simulator) noteUtil() {
 // admit creates the job's runtime state, schedules its deadline, and tries
 // to give it slots.
 func (s *Simulator) admit(j *task.Job) {
+	if s.flt != nil {
+		s.flt.wake()
+	}
 	js := s.takeJobState()
 	js.job = j
 	js.policy = s.factory.NewPolicy(j.ID, j.NumTasks())

@@ -108,6 +108,7 @@ func (s *Simulator) scheduleNextArrival() error {
 	// AtFirst ranks the arrival ahead of same-time simulation events that
 	// were enqueued before this job was even pulled — the order the
 	// materializing Run (which schedules all arrivals up front) produces.
+	s.arrivalsQueued++
 	s.eng.AtFirst(j.Arrival, s.arrivalFn)
 	return nil
 }
@@ -116,6 +117,7 @@ func (s *Simulator) scheduleNextArrival() error {
 // admission keeps the not-yet-arrived lookahead at exactly one job; the
 // tie ordering against simulation events is carried by AtFirst.
 func (s *Simulator) onArrival() {
+	s.arrivalsQueued--
 	j := s.pendingJob
 	s.pendingJob = nil
 	if err := s.scheduleNextArrival(); err != nil && s.srcErr == nil {

@@ -7,7 +7,7 @@ import (
 )
 
 // The heap-vs-calendar differential harness: the same operation stream —
-// At/AtFirst/After/Cancel/RunUntil/Step, with recycling always on —
+// At/AtFirst/AtLast/After/Cancel/RunUntil/Step, with recycling always on —
 // drives one engine per queue implementation, and every observable (fire
 // order, clock, fired count, pending count, cancellation behavior) must
 // match exactly. The heap is the reference; the calendar queue has no
@@ -36,7 +36,7 @@ func (d *qdriver) note(format string, args ...any) {
 // callbacks get ids >= childBase so they never spawn grandchildren.
 const childBase = 1 << 20
 
-func (d *qdriver) schedule(id int, t float64, first bool) {
+func (d *qdriver) schedule(id int, t float64, class int) {
 	fn := func(eng *Engine) {
 		delete(d.pend, id)
 		d.note("fire %.6g #%d", eng.Now(), id)
@@ -46,10 +46,15 @@ func (d *qdriver) schedule(id int, t float64, first bool) {
 		if id%5 == 0 {
 			// Same-time follow-up from inside the callback: joins the
 			// in-flight batch at the tail.
-			d.schedule(id+childBase, eng.Now(), false)
+			d.schedule(id+childBase, eng.Now(), 1)
 		}
 		if id%7 == 0 {
-			d.schedule(id+2*childBase, eng.Now()+0.5, true)
+			d.schedule(id+2*childBase, eng.Now()+0.5, 0)
+		}
+		if id%11 == 0 {
+			// Same-time AtLast from inside a callback — the fault-injection
+			// shape: outranked by the batch in flight, fires at its tail.
+			d.schedule(id+3*childBase, eng.Now(), 2)
 		}
 		if id%3 == 0 {
 			// Sibling kill: cancel the next id if it is still pending —
@@ -60,13 +65,16 @@ func (d *qdriver) schedule(id int, t float64, first bool) {
 		}
 	}
 	var ev *Event
-	if first {
+	switch class {
+	case 0:
 		ev = d.eng.AtFirst(t, fn)
-	} else {
+	case 2:
+		ev = d.eng.AtLast(t, fn)
+	default:
 		ev = d.eng.At(t, fn)
 	}
 	d.pend[id] = ev
-	d.note("sched %.6g #%d first=%v", t, id, first)
+	d.note("sched %.6g #%d class=%d", t, id, class)
 }
 
 func (d *qdriver) cancel(id int, ev *Event) {
@@ -101,12 +109,15 @@ func (d *qdriver) applyOps(ops []byte) {
 		op, arg := ops[i], ops[i+1]
 		// Quantized deltas: arg>>4 in {0..15} halved — tie-heavy on purpose.
 		delta := float64(arg>>4) * 0.5
-		switch op % 6 {
+		switch op % 7 {
 		case 0:
-			d.schedule(id, d.eng.Now()+delta, false)
+			d.schedule(id, d.eng.Now()+delta, 1)
 			id++
 		case 1:
-			d.schedule(id, d.eng.Now()+delta, true)
+			d.schedule(id, d.eng.Now()+delta, 0)
+			id++
+		case 6:
+			d.schedule(id, d.eng.Now()+delta, 2)
 			id++
 		case 2:
 			ev := d.eng.After(delta, func(eng *Engine) {
@@ -174,6 +185,8 @@ func FuzzQueueDifferential(f *testing.F) {
 	f.Add([]byte{0, 0x20, 0, 0x20, 0, 0x20, 0, 0x20, 3, 0, 4, 0, 3, 0, 4, 0})
 	// After + immediate cancel + drains.
 	f.Add([]byte{2, 0x11, 2, 0x22, 0, 0x00, 5, 0x40, 1, 0x00, 4, 0})
+	// AtLast tied with At/AtFirst at one timestamp, then steps.
+	f.Add([]byte{6, 0x10, 0, 0x10, 1, 0x10, 6, 0x10, 4, 0, 4, 0, 4, 0})
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		if len(ops) > 2048 {
 			ops = ops[:2048]

@@ -4,9 +4,9 @@
 //
 // Events are arbitrary callbacks scheduled at absolute simulation times.
 // The total order is (Time, class, seq): ties are broken first by the
-// scheduling class (AtFirst before At) and then by insertion order (FIFO
-// among equal timestamps), so runs are fully reproducible regardless of the
-// queue's internals.
+// scheduling class (AtFirst before At before AtLast) and then by insertion
+// order (FIFO among equal timestamps), so runs are fully reproducible
+// regardless of the queue's internals.
 //
 // # Queue implementations
 //
@@ -85,7 +85,7 @@ type Event struct {
 	seq    uint64 // insertion order, breaks (timestamp, class) ties
 	index  int    // queue position (or batch position when staged), -1 fired, -2 cancelled
 	bucket int32  // calendar bucket, -1 outside the calendar, bucketStaged in the batch
-	class  uint8  // tie rank: AtFirst events (0) fire before At events (1)
+	class  uint8  // tie rank: AtFirst (0) before At (1) before AtLast (2)
 }
 
 // Cancelled reports whether the event was removed before firing.
@@ -180,6 +180,17 @@ func (e *Engine) At(t float64, fn func(*Engine)) *Event {
 // replays identical even for traces with quantized (tie-prone) timestamps.
 func (e *Engine) AtFirst(t float64, fn func(*Engine)) *Event {
 	return e.schedule(t, 0, fn)
+}
+
+// AtLast schedules fn at absolute time t AFTER every same-time event
+// scheduled with AtFirst or At, regardless of insertion order; ties among
+// AtLast events keep FIFO order. The simulator schedules fault-injection
+// events with it (machine crashes, rack storms, contention bursts): a fault
+// at time t observes every arrival and completion of that instant first, so
+// the fault schedule composes with the existing (Time, class, seq) total
+// order without perturbing the classes the benign goldens pin.
+func (e *Engine) AtLast(t float64, fn func(*Engine)) *Event {
+	return e.schedule(t, 2, fn)
 }
 
 func (e *Engine) schedule(t float64, class uint8, fn func(*Engine)) *Event {

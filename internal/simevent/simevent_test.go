@@ -335,3 +335,53 @@ func TestOrderingProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAtLastFiresAfterSameTimeEvents: an AtLast event fires after every
+// same-time AtFirst and At event no matter the insertion order, with FIFO
+// ties within the class — the contract that lets a fault injected at time t
+// observe every arrival and completion of that instant before it applies.
+func TestAtLastFiresAfterSameTimeEvents(t *testing.T) {
+	e := New()
+	var got []string
+	e.AtLast(1, func(*Engine) { got = append(got, "last0") })
+	e.At(1, func(*Engine) { got = append(got, "at0") })
+	e.AtLast(1, func(*Engine) { got = append(got, "last1") })
+	e.AtFirst(1, func(*Engine) { got = append(got, "first0") })
+	e.At(1, func(*Engine) { got = append(got, "at1") })
+	e.At(0.5, func(*Engine) { got = append(got, "early") })
+	e.AtLast(2, func(*Engine) { got = append(got, "next-tick") })
+	e.Run(0)
+	want := []string{"early", "first0", "at0", "at1", "last0", "last1", "next-tick"}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	// An AtLast handler scheduling more same-time work: the new events fire
+	// at the same timestamp (classes 0/1 were already drained, but the
+	// engine must not deadlock or skip them).
+	got = got[:0]
+	e.AtLast(3, func(en *Engine) {
+		got = append(got, "fault")
+		en.At(3, func(*Engine) { got = append(got, "respawn") })
+	})
+	e.Run(0)
+	if len(got) != 2 || got[0] != "fault" || got[1] != "respawn" {
+		t.Fatalf("AtLast rescheduling same-time work fired %v", got)
+	}
+	// Cancel applies to staged AtLast events like any other class, and
+	// recycling must not leak the class: a pooled ex-AtLast event scheduled
+	// via At fires in its new class rank.
+	got = got[:0]
+	ev := e.AtLast(4, func(*Engine) { got = append(got, "cancelled") })
+	e.Cancel(ev)
+	e.AtLast(4, func(*Engine) { got = append(got, "last") })
+	e.At(4, func(*Engine) { got = append(got, "at") })
+	e.Run(0)
+	if len(got) != 2 || got[0] != "at" || got[1] != "last" {
+		t.Fatalf("cancel/recycle across AtLast fired %v", got)
+	}
+}

@@ -31,6 +31,13 @@
 #     would have to hit all three independent runs to fake a skew);
 #     round-robin partitioning keeps every sample at ~3.6-4.0.
 #
+# These exact walls double as the zero-cost gate for fault injection
+# (PR 10): every benchmark here runs with faults disabled, where the
+# simulator builds no injector and the hot path pays only nil checks —
+# so a change that lets the fault machinery allocate or reorder events
+# on a benign cluster fails the same exact ceilings. The priced fault
+# path itself is tracked by BenchmarkSimulatorFaults in BENCH_sim.json.
+#
 # Usage: scripts/perfwall.sh   (from anywhere inside the repo)
 set -euo pipefail
 cd "$(dirname "$0")/.."
